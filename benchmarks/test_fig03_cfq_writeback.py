@@ -1,0 +1,26 @@
+"""Figure 3: CFQ's priority blindness for buffered writes.
+
+Paper: 8 priority writers get equal throughput because the priority-4
+writeback task submits everything (right plot: 100% of requests appear
+at priority 4).
+"""
+
+from repro.experiments import fig03_cfq_writeback
+
+
+def test_fig03_cfq_writeback(once):
+    result = once(fig03_cfq_writeback.run, duration=20.0)
+
+    print("\nFigure 3 — CFQ buffered-write throughput by priority")
+    print(f"{'prio':>4} {'MB/s':>8} {'submitted-at-prio share':>24}")
+    for p in range(8):
+        print(f"{p:>4} {result['throughput_mbps'][p]:>8.1f} "
+              f"{result['submitter_priority_share'][p]:>23.1%}")
+    print(f"deviation from priority-proportional ideal: {result['deviation_pct']:.0f}%")
+
+    # All block writes appear to come from priority 4 (pdflush).
+    assert result["submitter_priority_share"][4] > 0.95
+    # Throughput is flat: heavy deviation from the ideal.
+    assert result["deviation_pct"] > 60
+    rates = result["throughput_mbps"]
+    assert max(rates.values()) < 1.5 * min(rates.values())

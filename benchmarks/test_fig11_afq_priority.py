@@ -1,0 +1,75 @@
+"""Figure 11: AFQ vs CFQ across four priority workloads.
+
+Paper: (a) reads — both fair; (b) async writes — CFQ deviates 82%,
+AFQ 16% (5x better); (c) sync random writes + fsync — CFQ 86%, AFQ 3%
+(28x); (d) memory overwrites — both fast, no fairness goal.
+"""
+
+import pytest
+
+from repro.experiments import fig11_afq_priority
+
+
+def _show(panel, results):
+    print(f"\nFigure 11({panel}) — throughput share by priority")
+    print(f"{'prio':>4} {'CFQ %':>7} {'AFQ %':>7} {'ideal %':>8}")
+    ideal_total = sum(fig11_afq_priority.IDEAL.values())
+    for p in range(8):
+        print(f"{p:>4} {results['cfq']['shares_pct'][p]:>7.1f} "
+              f"{results['afq']['shares_pct'][p]:>7.1f} "
+              f"{100 * fig11_afq_priority.IDEAL[p] / ideal_total:>8.1f}")
+    for name in ("cfq", "afq"):
+        dev = results[name]["deviation_pct"]
+        total = results[name]["total_mbps"]
+        dev_str = f"{dev:.0f}%" if dev is not None else "n/a"
+        print(f"{name}: total {total:.1f} MB/s, deviation {dev_str}")
+
+
+def test_fig11a_read(once):
+    results = once(
+        lambda: {s: fig11_afq_priority.run_read(s, duration=15.0) for s in ("cfq", "afq")}
+    )
+    _show("a: sequential read", results)
+    # Both respect priorities for reads.
+    assert results["cfq"]["deviation_pct"] < 25
+    assert results["afq"]["deviation_pct"] < 25
+    # Comparable total throughput.
+    ratio = results["afq"]["total_mbps"] / results["cfq"]["total_mbps"]
+    assert 0.75 < ratio < 1.25
+
+
+def test_fig11b_async_write(once):
+    results = once(
+        lambda: {s: fig11_afq_priority.run_async_write(s, duration=20.0) for s in ("cfq", "afq")}
+    )
+    _show("b: async write", results)
+    # CFQ is priority-blind for buffered writes; AFQ is not.
+    assert results["cfq"]["deviation_pct"] > 60
+    assert results["afq"]["deviation_pct"] < 20
+    assert results["cfq"]["deviation_pct"] > 4 * results["afq"]["deviation_pct"]
+
+
+def test_fig11c_sync_write(once):
+    results = once(
+        lambda: {
+            s: fig11_afq_priority.run_sync_write(s, duration=20.0, threads_per_priority=2)
+            for s in ("cfq", "afq")
+        }
+    )
+    _show("c: sync random write + fsync", results)
+    # fsync entanglement blinds CFQ; AFQ schedules the fsyncs themselves.
+    assert results["cfq"]["deviation_pct"] > 60
+    assert results["afq"]["deviation_pct"] < 30
+    assert results["cfq"]["deviation_pct"] > 2 * results["afq"]["deviation_pct"]
+
+
+def test_fig11d_memory(once):
+    results = once(
+        lambda: {s: fig11_afq_priority.run_memory(s, duration=3.0) for s in ("cfq", "afq")}
+    )
+    _show("d: memory overwrite", results)
+    # Both run at memory speed, far above disk rate (~110 MB/s).
+    assert results["cfq"]["total_mbps"] > 500
+    assert results["afq"]["total_mbps"] > 500
+    # AFQ may be slightly slower (per-write bookkeeping) but comparable.
+    assert results["afq"]["total_mbps"] > 0.5 * results["cfq"]["total_mbps"]

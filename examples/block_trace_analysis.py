@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Block-level tracing: watch write delegation and journal amplification.
+
+Attaches a BlockTracer to the stack, runs two tenants through a mixed
+workload, and prints (a) the *submitter* view a block-level scheduler
+would see — almost everything from pdflush/jbd2 — against (b) the
+*cause* view the split framework's tags provide, plus the measured
+write amplification from journaling.
+
+Run:  python examples/block_trace_analysis.py
+"""
+
+from repro import Environment, HDD, KB, MB, OS
+from repro.metrics import BlockTracer
+from repro.schedulers import SplitNoop
+from repro.units import PAGE_SIZE
+
+
+def main():
+    env = Environment()
+    machine = OS(env, device=HDD(), scheduler=SplitNoop(), memory_bytes=512 * MB)
+    tracer = BlockTracer(machine.block_queue)
+
+    alice = machine.spawn("alice")
+    bob = machine.spawn("bob")
+    payload = {}
+
+    def tenant(task, path, nbytes):
+        handle = yield from machine.creat(task, path)
+        yield from handle.append(nbytes)  # buffered: pdflush will submit
+        payload[task.name] = nbytes
+
+    env.process(tenant(alice, "/alice.db", 8 * MB))
+    env.process(tenant(bob, "/bob.log", 2 * MB))
+    env.run(until=env.now + 1.0)
+    machine.writeback.request_flush(0)  # let the delegation happen
+    env.run(until=env.now + 30.0)
+
+    print("== what a block-level scheduler sees (submitters) ==")
+    for name, nbytes in sorted(tracer.bytes_by_submitter().items()):
+        print(f"  {name:12s} {nbytes / MB:8.2f} MB")
+
+    print("\n== what split tags reveal (true causes) ==")
+    names = {alice.pid: "alice", bob.pid: "bob"}
+    for pid, nbytes in sorted(tracer.bytes_by_cause().items()):
+        who = names.get(pid, f"pid{pid}")
+        print(f"  {who:12s} {nbytes / MB:8.2f} MB")
+
+    total_payload = sum(payload.values())
+    print(f"\nwrite amplification: {tracer.amplification(total_payload):.3f}x "
+          f"({len(tracer)} requests, "
+          f"{tracer.sequential_fraction():.0%} sequential)")
+    print("journal/metadata writes:",
+          sum(1 for r in tracer.records if r.metadata))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: assemble a simulated storage stack and run two workloads.
+
+Builds one machine (HDD, ext4-like filesystem, Split-Token scheduler),
+throttles a background writer, and shows that a foreground reader's
+throughput is protected — the paper's core isolation story in ~60
+lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Environment, HDD, MB, OS
+from repro.metrics import ThroughputTracker
+from repro.schedulers import SplitToken
+from repro.workloads import prefill_file, run_pattern_writer, sequential_reader
+
+
+def main():
+    env = Environment()
+    scheduler = SplitToken()
+    machine = OS(env, device=HDD(), scheduler=scheduler, memory_bytes=1024 * MB)
+
+    # --- set the stage: two files on disk -----------------------------
+    setup = machine.spawn("setup")
+
+    def setup_proc():
+        yield from prefill_file(machine, setup, "/reader.dat", 128 * MB)
+        yield from prefill_file(machine, setup, "/writer.dat", 128 * MB)
+
+    proc = env.process(setup_proc())
+    env.run(until=proc)
+    print(f"[{env.now:6.2f}s] files created and flushed")
+
+    # --- a foreground reader and a throttled background writer --------
+    reader = machine.spawn("reader")
+    writer = machine.spawn("writer")
+    scheduler.set_limit(writer, 2 * MB)  # 2 MB/s of normalized I/O
+
+    read_rate = ThroughputTracker("reader")
+    write_rate = ThroughputTracker("writer")
+    duration = 20.0
+    env.process(
+        sequential_reader(machine, reader, "/reader.dat", duration, chunk=1 * MB,
+                          tracker=read_rate, cold=True)
+    )
+    env.process(
+        run_pattern_writer(machine, writer, "/writer.dat", 4 * 1024, duration,
+                           tracker=write_rate)
+    )
+    env.run(until=env.now + duration)
+
+    print(f"[{env.now:6.2f}s] reader: {read_rate.rate(env.now) / MB:6.1f} MB/s "
+          "(isolated from the writer)")
+    print(f"[{env.now:6.2f}s] writer: {write_rate.rate(env.now) / MB:6.1f} MB/s "
+          "(random writes billed at true disk cost)")
+    print(f"disk: {machine.device.stats}")
+    print(f"journal commits: {machine.fs.journal.commits}, "
+          f"cache hit ratio: {machine.cache.hits}/{machine.cache.hits + machine.cache.misses}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Running the split stack over a striped array (RAID-0).
+
+The schedulers never look inside the device model, so the same stack
+runs unchanged over a 4-disk stripe set: sequential bandwidth scales
+with members while the split framework's isolation still holds.
+
+Run:  python examples/raid_array.py
+"""
+
+from repro import Environment, HDD, MB, OS
+from repro.devices import RAID0
+from repro.metrics import ThroughputTracker
+from repro.schedulers import SplitToken
+from repro.workloads import prefill_file, run_pattern_writer, sequential_reader
+
+
+def run(device, label):
+    env = Environment()
+    scheduler = SplitToken()
+    machine = OS(env, device=device, scheduler=scheduler, memory_bytes=1024 * MB)
+    setup = machine.spawn("setup")
+
+    def setup_proc():
+        yield from prefill_file(machine, setup, "/a", 256 * MB)
+        yield from prefill_file(machine, setup, "/b", 256 * MB)
+
+    proc = env.process(setup_proc())
+    env.run(until=proc)
+
+    reader = machine.spawn("reader")
+    noisy = machine.spawn("noisy")
+    scheduler.set_limit(noisy, 2 * MB)
+    tracker = ThroughputTracker()
+    duration = 15.0
+    env.process(sequential_reader(machine, reader, "/a", duration, chunk=4 * MB,
+                                  tracker=tracker, cold=True))
+    env.process(run_pattern_writer(machine, noisy, "/b", 4 * 1024, duration))
+    env.run(until=env.now + duration)
+    print(f"{label:18s} reader: {tracker.rate(env.now) / MB:7.1f} MB/s")
+
+
+def main():
+    run(HDD(), "single HDD")
+    run(RAID0([HDD() for _ in range(4)], stripe_blocks=256), "4-disk RAID-0")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final verification runs: full test suite, then the benchmark suite.
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo "FINAL_RUNS_COMPLETE" >> /root/repo/bench_output.txt

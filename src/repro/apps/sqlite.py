@@ -1,0 +1,115 @@
+"""A SQLite3-like WAL database (paper §7.1.1).
+
+Transactions read a random page of the table, append a WAL record, and
+fsync the log.  A separate checkpointer thread copies accumulated
+dirty table pages into the database file (and fsyncs it) whenever the
+number of dirty buffers crosses a threshold — the knob swept on the
+x-axis of Figure 18.
+
+The paper's "minor changes to SQLite" are reflected here: log appends
+and checkpointing run concurrently, and per-thread I/O deadlines can
+be installed (short for the WAL appender and table reads, long for the
+checkpointer's database-file fsyncs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.metrics.recorders import LatencyRecorder
+from repro.units import KB, MB, PAGE_SIZE
+
+
+class SQLiteDB:
+    """One database: a table file, a WAL, and a checkpointer thread."""
+
+    def __init__(
+        self,
+        os,
+        name: str = "sqlite",
+        table_bytes: int = 256 * MB,
+        checkpoint_threshold: int = 1000,
+        wal_record: int = 4 * KB,
+        seed: int = 0,
+    ):
+        self.os = os
+        self.name = name
+        self.table_bytes = table_bytes
+        self.checkpoint_threshold = checkpoint_threshold
+        self.wal_record = wal_record
+        self.rng = random.Random(seed)
+        self.worker = os.spawn(f"{name}-worker")
+        self.checkpoint_task = os.spawn(f"{name}-checkpointer")
+        self.table = None
+        self.wal = None
+        self._dirty_rows = set()
+        self._checkpoint_signal = os.env.event()
+        self._stop = False
+        self.latency = LatencyRecorder(f"{name}-txn")
+        self.checkpoints = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def setup(self):
+        """Generator: create and prefill the table, create the WAL."""
+        from repro.workloads.generators import prefill_file
+
+        self.table = yield from prefill_file(
+            self.os, self.worker, f"/{self.name}.db", self.table_bytes
+        )
+        self.wal = yield from self.os.creat(self.worker, f"/{self.name}.wal")
+        self.os.env.process(self._checkpointer(), name=f"{self.name}-ckpt")
+
+    # -- the transaction path ------------------------------------------------
+
+    def update_transaction(self):
+        """Generator: one row update; records its latency."""
+        env = self.os.env
+        start = env.now
+        # Read the row's page.
+        page = self.rng.randrange(0, self.table_bytes // PAGE_SIZE)
+        yield from self.os.read(self.worker, self.table.inode, page * PAGE_SIZE, PAGE_SIZE)
+        # Append the WAL record and make it durable.
+        yield from self.wal.append(self.wal_record)
+        yield from self.os.fsync(self.worker, self.wal.inode)
+        self.latency.record(env.now, env.now - start)
+        # Track table dirtiness; trip the checkpointer at the threshold.
+        self._dirty_rows.add(page)
+        if len(self._dirty_rows) >= self.checkpoint_threshold:
+            if not self._checkpoint_signal.triggered:
+                self._checkpoint_signal.succeed()
+
+    def run_updates(self, duration: float, think: float = 0.0):
+        """Generator: issue update transactions for *duration* seconds."""
+        env = self.os.env
+        end = env.now + duration
+        while env.now < end:
+            yield from self.update_transaction()
+            if think > 0:
+                yield env.timeout(think)
+        self._stop = True
+        if not self._checkpoint_signal.triggered:
+            self._checkpoint_signal.succeed()
+        return self.latency
+
+    # -- checkpointing ----------------------------------------------------------
+
+    def _checkpointer(self):
+        env = self.os.env
+        while True:
+            yield self._checkpoint_signal
+            self._checkpoint_signal = env.event()
+            if self._stop:
+                return
+            rows, self._dirty_rows = self._dirty_rows, set()
+            if not rows:
+                continue
+            # Copy each dirty row's page into the table file...
+            for page in sorted(rows):
+                yield from self.os.write(
+                    self.checkpoint_task, self.table.inode, page * PAGE_SIZE, PAGE_SIZE
+                )
+            # ...make the table durable, then the WAL is logically reset.
+            yield from self.os.fsync(self.checkpoint_task, self.table.inode)
+            self.checkpoints += 1

@@ -1,0 +1,13 @@
+"""The block layer: requests, the dispatch queue, and the elevator API.
+
+This mirrors Linux's block layer as seen by an I/O scheduler: requests
+arrive via :meth:`BlockQueue.submit` (tagged, in the split framework,
+with their true causes), the attached elevator decides dispatch order,
+and the device model provides per-request service times.
+"""
+
+from repro.block.request import BlockRequest
+from repro.block.elevator import BlockScheduler
+from repro.block.queue import BlockQueue
+
+__all__ = ["BlockQueue", "BlockRequest", "BlockScheduler"]

@@ -1,0 +1,48 @@
+"""The elevator (block-scheduler) interface.
+
+Mirrors the hooks of Linux's elevator framework: schedulers are told
+when requests enter the block layer, are asked which request to
+dispatch next, and are told when the device completes one.  A scheduler
+may return ``None`` from :meth:`next_request` even while holding
+requests (e.g. a token-bucket scheduler out of tokens); it must then
+arrange for :meth:`~repro.block.queue.BlockQueue.kick` to be called
+when it becomes willing again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.queue import BlockQueue
+    from repro.block.request import BlockRequest
+
+
+class BlockScheduler:
+    """Base elevator; subclasses override the three hooks."""
+
+    name = "elevator"
+
+    def __init__(self):
+        self.queue: Optional["BlockQueue"] = None
+
+    def attach(self, queue: "BlockQueue") -> None:
+        """Called by the block queue when the scheduler is installed."""
+        self.queue = queue
+
+    # -- elevator hooks ---------------------------------------------------
+
+    def add_request(self, request: "BlockRequest") -> None:
+        """A request has entered the block layer."""
+        raise NotImplementedError
+
+    def next_request(self) -> Optional["BlockRequest"]:
+        """Choose the request to dispatch now (None = nothing to do)."""
+        raise NotImplementedError
+
+    def request_completed(self, request: "BlockRequest") -> None:
+        """The device finished *request*."""
+
+    def has_work(self) -> bool:
+        """Whether any request is queued (dispatchable or not)."""
+        raise NotImplementedError

@@ -1,0 +1,105 @@
+"""The block request queue and dispatch engine.
+
+One dispatcher process pulls requests from the installed elevator and
+serves them on the device, one at a time (the device is the contended
+resource).  Completion triggers the request's ``done`` event, cleans the
+pages a write carried, performs per-cause byte accounting, and informs
+the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.block.request import BlockRequest
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.elevator import BlockScheduler
+    from repro.devices.base import Device
+    from repro.proc import ProcessTable
+    from repro.sim.core import Environment
+
+
+class BlockQueue:
+    """Request queue between the elevator and a device."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        device: "Device",
+        scheduler: "BlockScheduler",
+        process_table: Optional["ProcessTable"] = None,
+    ):
+        self.env = env
+        self.device = device
+        self.scheduler = scheduler
+        self.process_table = process_table
+        scheduler.attach(self)
+        self._kick_event = env.event()
+        self._dispatcher = env.process(self._dispatch_loop(), name="block-dispatcher")
+        #: Observers called with each completed request (metrics etc.).
+        self.completion_listeners: List[Callable[[BlockRequest], None]] = []
+        self.in_flight: Optional[BlockRequest] = None
+        self.submitted = 0
+        self.completed = 0
+
+    def submit(self, request: BlockRequest):
+        """Enter *request* into the block layer; returns its done event."""
+        request.submit_time = self.env.now
+        request.done = self.env.event()
+        self.submitted += 1
+        self.scheduler.add_request(request)
+        self.kick()
+        return request.done
+
+    def kick(self) -> None:
+        """Wake the dispatcher (new request, or scheduler became willing)."""
+        if not self._kick_event.triggered:
+            self._kick_event.succeed()
+
+    def _dispatch_loop(self):
+        while True:
+            request = self.scheduler.next_request()
+            if request is None:
+                self._kick_event = self.env.event()
+                # Let the scheduler schedule a future kick (deadline
+                # timers etc.) by also polling if it still holds work.
+                yield self._kick_event
+                continue
+
+            request.dispatch_time = self.env.now
+            self.in_flight = request
+            serve = getattr(self.device, "serve", None)
+            if serve is not None:
+                # Asynchronous device (e.g. a VM disk backed by a host
+                # file): service time emerges from the backing stack.
+                yield from serve(request)
+            else:
+                duration = self.device.service_time(request.op, request.block, request.nblocks)
+                yield self.env.timeout(duration)
+            self.in_flight = None
+            request.complete_time = self.env.now
+            self.completed += 1
+            self._account(request)
+            for page in request.pages:
+                page.write_completed()
+            self.scheduler.request_completed(request)
+            for listener in self.completion_listeners:
+                listener(request)
+            if not request.done.triggered:
+                request.done.succeed(request)
+
+    def _account(self, request: BlockRequest) -> None:
+        """Charge completed bytes to the true causes, split evenly."""
+        if self.process_table is None or not request.causes:
+            return
+        share = request.nblocks * PAGE_SIZE / len(request.causes)
+        for pid in request.causes:
+            task = self.process_table.get(pid)
+            if task is None:
+                continue
+            if request.is_read:
+                task.bytes_read += share
+            else:
+                task.bytes_written += share

@@ -1,0 +1,94 @@
+"""Block-level request representation (Linux ``struct request``/``bio``)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.core.tags import CauseSet, EMPTY_CAUSES
+from repro.proc import Task
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+READ = "read"
+WRITE = "write"
+
+
+class BlockRequest:
+    """One I/O request at the block level.
+
+    Two identity fields matter for the paper's argument:
+
+    - ``submitter`` — the task that *submitted* the request.  For
+      delegated writes this is the writeback daemon or the journal
+      commit task.  Block-level schedulers like CFQ can only see this.
+    - ``causes`` — the true cause set carried by split tags.  Only
+      split-framework schedulers consult it.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        op: str,
+        block: int,
+        nblocks: int,
+        submitter: Task,
+        causes: CauseSet = EMPTY_CAUSES,
+        sync: bool = False,
+        metadata: bool = False,
+        pages: Optional[List[Any]] = None,
+    ):
+        if op not in (READ, WRITE):
+            raise ValueError(f"op must be 'read' or 'write', got {op!r}")
+        if nblocks <= 0:
+            raise ValueError(f"nblocks must be positive, got {nblocks}")
+        self.id = next(BlockRequest._ids)
+        self.op = op
+        self.block = block
+        self.nblocks = nblocks
+        self.submitter = submitter
+        self.causes = causes if causes else CauseSet((submitter.pid,))
+        #: Synchronous request (a reader or fsync is waiting on it).
+        self.sync = sync
+        #: Journal / metadata write.
+        self.metadata = metadata
+        #: Pages this write flushes (cleaned on completion).
+        self.pages = pages or []
+        self.submit_time: Optional[float] = None
+        self.dispatch_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        #: Triggered when the device finishes the request.
+        self.done: Optional["Event"] = None
+        #: Per-request deadline (absolute time), used by deadline schedulers.
+        self.deadline: Optional[float] = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.nblocks * PAGE_SIZE
+
+    @property
+    def end_block(self) -> int:
+        return self.block + self.nblocks
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.complete_time is None or self.submit_time is None:
+            return None
+        return self.complete_time - self.submit_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<BlockRequest #{self.id} {self.op} [{self.block},{self.end_block}) "
+            f"by {self.submitter.name}>"
+        )

@@ -1,0 +1,219 @@
+"""The page cache proper: lookup, dirtying, eviction, accounting."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+from repro.cache.page import Page, PageKey
+from repro.core.tags import EMPTY_CAUSES, CauseSet, TagManager
+from repro.units import GB, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proc import Task
+    from repro.sim.core import Environment
+
+
+class PageCache:
+    """An LRU page cache with dirty-page accounting and split hooks.
+
+    The split framework's memory-level hooks (`buffer-dirty`,
+    `buffer-free`, Table 2) fire from here.  Hooks are attached by the
+    :class:`~repro.core.framework.SplitFramework`; a stack running a
+    pure block-level scheduler has none, which is exactly the
+    information gap the paper describes.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        tags: TagManager,
+        memory_bytes: int = 16 * GB,
+    ):
+        if memory_bytes < PAGE_SIZE:
+            raise ValueError("cache must hold at least one page")
+        self.env = env
+        self.tags = tags
+        self.memory_bytes = memory_bytes
+        self.capacity_pages = memory_bytes // PAGE_SIZE
+        self._pages: Dict[PageKey, Page] = {}
+        #: LRU of *clean* pages only (dirty pages are never evictable,
+        #: so keeping them out of the LRU makes eviction O(1)).
+        self._clean_lru: "OrderedDict[PageKey, None]" = OrderedDict()
+        # Dirty indexes: insertion order == age order (a page's
+        # dirtied_at is set only on the clean->dirty transition).
+        self._dirty: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._dirty_by_inode: Dict[int, "OrderedDict[PageKey, None]"] = {}
+        self.dirty_bytes = 0
+        #: Memory-level hook points (set by the split framework).
+        self.buffer_dirty_hook = None  # f(page, old_causes) -> None
+        self.buffer_free_hook = None  # f(page) -> None
+        # Counters
+        self.hits = 0
+        self.misses = 0
+        self.overwrites = 0
+        self.evictions = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def dirty_fraction(self) -> float:
+        return self.dirty_bytes / self.memory_bytes
+
+    def lookup(self, key: PageKey) -> Optional[Page]:
+        """Return the cached page or None; refreshes LRU position."""
+        page = self._pages.get(key)
+        if page is not None:
+            if key in self._clean_lru:
+                self._clean_lru.move_to_end(key)
+            page.last_access = self.env.now
+        return page
+
+    def contains(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def dirty_pages_of(self, inode_id: int) -> List[Page]:
+        """All dirty pages of one file, in file order."""
+        index = self._dirty_by_inode.get(inode_id)
+        if not index:
+            return []
+        pages = [
+            self._pages[key] for key in index if not self._pages[key].under_writeback
+        ]
+        pages.sort(key=lambda p: p.key.index)
+        return pages
+
+    def dirty_bytes_of(self, inode_id: int) -> int:
+        """Dirty bytes of one file (including pages under writeback)."""
+        index = self._dirty_by_inode.get(inode_id)
+        return len(index) * PAGE_SIZE if index else 0
+
+    def dirty_pages_by_age(self, limit: Optional[int] = None) -> List[Page]:
+        """Dirty pages not under writeback, oldest first."""
+        pages = []
+        for key in self._dirty:
+            page = self._pages[key]
+            if page.under_writeback:
+                continue
+            pages.append(page)
+            if limit is not None and len(pages) >= limit:
+                break
+        return pages
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert_clean(self, key: PageKey, disk_block: Optional[int] = None) -> Page:
+        """Add a page read from disk (or reuse the cached one)."""
+        page = self._pages.get(key)
+        if page is None:
+            page = Page(key, self)
+            self._pages[key] = page
+        if not page.dirty:
+            self._clean_lru[key] = None
+            self._clean_lru.move_to_end(key)
+        self._maybe_evict()
+        page.disk_block = disk_block if disk_block is not None else page.disk_block
+        page.last_access = self.env.now
+        return page
+
+    def mark_dirty(self, key: PageKey, task: "Task") -> Page:
+        """Dirty a page on behalf of *task* (or its proxied causes).
+
+        Fires the buffer-dirty hook with the page's previous causes so
+        a scheduler can shift accounting to the last writer if its
+        policy wants that (§4.2).
+        """
+        causes = self.tags.current_causes(task)
+        page = self._pages.get(key)
+        if page is None:
+            page = Page(key, self)
+            self._pages[key] = page
+            self._maybe_evict()
+        self._clean_lru.pop(key, None)  # dirty pages leave the clean LRU
+        page.last_access = self.env.now
+
+        old_causes = page.causes if page.dirty else EMPTY_CAUSES
+        newly_dirty = not page.dirty
+        if newly_dirty:
+            page.dirty = True
+            page.dirtied_at = self.env.now
+            page.causes = causes
+            self._dirty[key] = None
+            self._dirty_by_inode.setdefault(key.inode_id, OrderedDict())[key] = None
+            self.dirty_bytes += PAGE_SIZE
+        else:
+            self.overwrites += 1
+            page.causes = page.causes | causes
+            if page.under_writeback:
+                page.redirtied = True
+        self.tags.account_tag(page, page.causes)
+
+        if self.buffer_dirty_hook is not None:
+            self.buffer_dirty_hook(page, old_causes)
+        return page
+
+    def page_cleaned(self, page: Page) -> None:
+        """Writeback for *page* finished and it was not re-dirtied."""
+        if not page.dirty:
+            return
+        page.dirty = False
+        page.dirtied_at = None
+        self._discard_dirty(page.key)
+        self.dirty_bytes -= PAGE_SIZE
+        self.tags.release_tag(page)
+        page.causes = EMPTY_CAUSES
+        if page.key in self._pages:
+            self._clean_lru[page.key] = None
+        self._maybe_evict()
+
+    def free(self, key: PageKey) -> Optional[Page]:
+        """Drop a page (file deletion / truncation).
+
+        A dirty page freed before writeback fires the buffer-free hook:
+        the work disappeared, and schedulers may refund its cost.
+        """
+        page = self._pages.pop(key, None)
+        if page is None:
+            return None
+        self._clean_lru.pop(key, None)
+        if page.dirty:
+            self._discard_dirty(key)
+            self.dirty_bytes -= PAGE_SIZE
+            self.tags.release_tag(page)
+            if self.buffer_free_hook is not None:
+                self.buffer_free_hook(page)
+        return page
+
+    def _discard_dirty(self, key: PageKey) -> None:
+        self._dirty.pop(key, None)
+        index = self._dirty_by_inode.get(key.inode_id)
+        if index is not None:
+            index.pop(key, None)
+            if not index:
+                del self._dirty_by_inode[key.inode_id]
+
+    def free_file(self, inode_id: int) -> int:
+        """Drop every cached page of a file; returns count freed."""
+        keys = [key for key in self._pages if key.inode_id == inode_id]
+        for key in keys:
+            self.free(key)
+        return len(keys)
+
+    def _maybe_evict(self) -> None:
+        """Evict clean LRU pages when over capacity (O(1) per page)."""
+        while len(self._pages) > self.capacity_pages and self._clean_lru:
+            key, _ = self._clean_lru.popitem(last=False)
+            page = self._pages.get(key)
+            if page is None:
+                continue
+            if page.dirty or page.under_writeback:
+                continue  # stale entry; dirty pages are not evictable
+            del self._pages[key]
+            self.evictions += 1

@@ -1,0 +1,112 @@
+"""Command-line interface: run any paper experiment and print JSON.
+
+Usage::
+
+    python -m repro list                 # list experiment ids
+    python -m repro run fig13            # regenerate one figure
+    python -m repro run fig13 --set duration=10 --set rate_limit=1048576
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from typing import Any, Dict
+
+from repro.experiments import EXPERIMENTS
+
+
+def _parse_override(text: str) -> Any:
+    key, _, raw = text.partition("=")
+    if not _:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    try:
+        value: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce experiment results into JSON-friendly structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cmd_list(_args) -> int:
+    width = max(len(key) for key in EXPERIMENTS)
+    for key, (module, title) in sorted(EXPERIMENTS.items()):
+        print(f"{key.ljust(width)}  {title}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    entry = EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        print(f"unknown experiment {args.experiment!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    module_name, title = entry
+    module = importlib.import_module(module_name)
+    overrides: Dict[str, Any] = dict(args.overrides or [])
+
+    runner = getattr(module, "run_comparison", None) or module.run
+    print(f"# {title}", file=sys.stderr)
+    result = runner(**overrides)
+    json.dump(_jsonable(result), sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'Split-Level I/O Scheduling' (SOSP 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. fig13")
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        type=_parse_override,
+        metavar="KEY=VALUE",
+        help="override a run() keyword (JSON-parsed; repeatable)",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    export_parser = sub.add_parser("export", help="run experiments, write JSON + report")
+    export_parser.add_argument("out_dir", help="directory for <id>.json files and REPORT.md")
+    export_parser.add_argument(
+        "--only", action="append", metavar="ID",
+        help="restrict to these experiment ids (repeatable)",
+    )
+    export_parser.set_defaults(func=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+def cmd_export(args) -> int:
+    from repro.experiments.export import export_all
+
+    written = export_all(args.out_dir, only=args.only)
+    print(f"wrote {len(written)} result files to {args.out_dir}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

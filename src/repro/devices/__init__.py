@@ -1,0 +1,14 @@
+"""Storage device models.
+
+The schedulers in the paper only depend on *relative* costs — sequential
+vs random, read vs write, HDD vs SSD — so the models here compute
+deterministic expected service times from simple mechanical/electrical
+parameters rather than replaying measured traces.
+"""
+
+from repro.devices.base import Device, DeviceStats
+from repro.devices.hdd import HDD
+from repro.devices.ssd import SSD
+from repro.devices.composite import JitteryDevice, RAID0
+
+__all__ = ["Device", "DeviceStats", "HDD", "JitteryDevice", "RAID0", "SSD"]

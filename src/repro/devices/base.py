@@ -1,0 +1,83 @@
+"""Abstract device interface and statistics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import PAGE_SIZE
+
+
+class DeviceStats:
+    """Aggregate counters maintained by every device model."""
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+        self.seeks = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceStats(reads={self.reads}, writes={self.writes}, "
+            f"busy={self.busy_time:.3f}s)"
+        )
+
+
+class Device:
+    """A block device addressed in 4 KiB blocks.
+
+    Subclasses implement :meth:`service_time`; the block-layer dispatch
+    engine calls it once per request, in dispatch order, so the model
+    may keep head-position state between calls.
+    """
+
+    def __init__(self, capacity_blocks: int, name: str = "disk"):
+        if capacity_blocks <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_blocks = capacity_blocks
+        self.name = name
+        self.stats = DeviceStats()
+        self._last_block_end: Optional[int] = None
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * PAGE_SIZE
+
+    def is_sequential(self, block: int) -> bool:
+        """Does *block* directly follow the previous request?"""
+        return self._last_block_end is not None and block == self._last_block_end
+
+    def service_time(self, op: str, block: int, nblocks: int) -> float:
+        """Seconds to serve the request; also advances device state."""
+        raise NotImplementedError
+
+    def _account(self, op: str, nblocks: int, duration: float) -> None:
+        nbytes = nblocks * PAGE_SIZE
+        if op == "read":
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
+        elif op == "write":
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        self.stats.busy_time += duration
+
+    def _check_bounds(self, block: int, nblocks: int) -> None:
+        if nblocks <= 0:
+            raise ValueError(f"request of {nblocks} blocks")
+        if block < 0 or block + nblocks > self.capacity_blocks:
+            raise ValueError(
+                f"request [{block}, {block + nblocks}) outside device "
+                f"of {self.capacity_blocks} blocks"
+            )

@@ -1,0 +1,83 @@
+"""Shared plumbing for the figure/table experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.devices import HDD, SSD
+from repro.sim import Environment
+from repro.syscall.os import OS
+from repro.units import GB, MB
+
+
+def make_device(kind: str):
+    """Device factory: 'hdd' or 'ssd'."""
+    if kind == "hdd":
+        return HDD()
+    if kind == "ssd":
+        return SSD()
+    raise ValueError(f"unknown device kind {kind!r}")
+
+
+def build_stack(
+    scheduler=None,
+    device: str = "hdd",
+    memory_bytes: int = 1 * GB,
+    fs_class=None,
+    writeback_enabled: bool = True,
+    writeback_config=None,
+    cores: int = 8,
+):
+    """A fresh (env, OS) pair for one experimental run.
+
+    The default memory size is deliberately smaller than the paper's
+    16 GB testbed: the simulated workloads are scaled down in the same
+    proportion, keeping the dirty-ratio and cache dynamics equivalent
+    while the simulation stays fast.
+    """
+    env = Environment()
+    kwargs = dict(
+        device=make_device(device),
+        scheduler=scheduler,
+        memory_bytes=memory_bytes,
+        cores=cores,
+        writeback_enabled=writeback_enabled,
+        writeback_config=writeback_config,
+    )
+    if fs_class is not None:
+        kwargs["fs_class"] = fs_class
+    machine = OS(env, **kwargs)
+    return env, machine
+
+
+def settle(env, proc) -> None:
+    """Run the simulation until *proc* (a setup Process) completes."""
+    env.run(until=proc)
+
+
+def drive(env, generator):
+    """Run one generator to completion and return its value."""
+    proc = env.process(generator)
+    env.run(until=proc)
+    return proc.value
+
+
+def run_for(env, duration: float) -> None:
+    """Advance the simulation by *duration* seconds."""
+    env.run(until=env.now + duration)
+
+
+def format_table(headers: List[str], rows: Iterable[Iterable]) -> str:
+    """Simple fixed-width table used by the benchmark printers."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

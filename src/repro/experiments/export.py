@@ -1,0 +1,85 @@
+"""Batch export: regenerate experiments and write JSON + a report.
+
+Drives the same ``run()`` entry points as the benchmark suite, but
+writes machine-readable results (one JSON file per experiment) plus a
+markdown summary — the artefact you would attach to a reproduction
+report.
+
+    from repro.experiments.export import export_all
+    export_all("results/", only=["fig03", "tab1"], overrides={"fig03": {"duration": 10}})
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from repro.experiments import EXPERIMENTS
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def run_experiment(key: str, overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Run one experiment by id; returns {key, title, seconds, result}."""
+    try:
+        module_name, title = EXPERIMENTS[key]
+    except KeyError:
+        raise ValueError(f"unknown experiment {key!r}") from None
+    module = importlib.import_module(module_name)
+    runner = getattr(module, "run_comparison", None) or module.run
+    started = time.time()
+    result = runner(**(overrides or {}))
+    return {
+        "experiment": key,
+        "title": title,
+        "wall_seconds": round(time.time() - started, 1),
+        "result": _jsonable(result),
+    }
+
+
+def export_all(
+    out_dir,
+    only: Optional[Iterable[str]] = None,
+    overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+    progress=print,
+) -> Dict[str, str]:
+    """Run experiments and write ``<key>.json`` files plus ``REPORT.md``.
+
+    Returns a map of experiment id -> output path.  Failures are
+    recorded in the report rather than aborting the batch.
+    """
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    keys = list(only) if only is not None else sorted(EXPERIMENTS)
+    overrides = overrides or {}
+
+    written: Dict[str, str] = {}
+    report_lines = ["# Reproduction run", ""]
+    for key in keys:
+        progress(f"running {key} ...")
+        try:
+            payload = run_experiment(key, overrides.get(key))
+        except Exception as exc:  # record, keep going
+            report_lines.append(f"- **{key}**: FAILED — {exc!r}")
+            continue
+        target = out_path / f"{key}.json"
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        written[key] = str(target)
+        report_lines.append(
+            f"- **{key}** — {payload['title']} ({payload['wall_seconds']}s) -> `{target.name}`"
+        )
+    (out_path / "REPORT.md").write_text("\n".join(report_lines) + "\n")
+    return written

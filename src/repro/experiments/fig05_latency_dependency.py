@@ -1,0 +1,67 @@
+"""Figure 5: under Block-Deadline, A's one-block fsync latency depends
+on how much data B flushes per fsync — deadlines on block requests
+cannot cut the dependency chain through the filesystem.
+
+Thread A appends 4 KB + fsync in a loop; thread B writes N random
+bytes then fsyncs, for N from 16 KB to 4 MB.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.experiments.common import build_stack, drive, run_for
+from repro.metrics.recorders import LatencyRecorder
+from repro.schedulers import BlockDeadline
+from repro.units import KB, MB, PAGE_SIZE
+from repro.workloads import fsync_appender, prefill_file
+
+
+def _big_fsync_writer(os_, task, path, nbytes, duration, rng):
+    """B: N random bytes + fsync, repeatedly."""
+    env = os_.env
+    handle = yield from os_.open(task, path)
+    size = handle.inode.size
+    end = env.now + duration
+    while env.now < end:
+        for _ in range(max(1, nbytes // PAGE_SIZE)):
+            offset = rng.randrange(0, size // PAGE_SIZE) * PAGE_SIZE
+            yield from handle.pwrite(offset, PAGE_SIZE)
+        yield from handle.fsync()
+        yield env.timeout(0.05)
+
+
+def run(
+    sizes: List[int] = (16 * KB, 64 * KB, 256 * KB, 1 * MB, 4 * MB),
+    duration: float = 20.0,
+    block_deadline: float = 0.02,
+    b_file: int = 64 * MB,
+    seed: int = 0,
+) -> Dict:
+    """Returns A's mean/p95 fsync latency for each B flush size."""
+    results = {"sizes": list(sizes), "mean_ms": [], "p95_ms": []}
+    for nbytes in sizes:
+        scheduler = BlockDeadline(read_deadline=block_deadline, write_deadline=block_deadline)
+        env, machine = build_stack(scheduler=scheduler, device="hdd")
+        setup = machine.spawn("setup")
+
+        def setup_proc():
+            yield from prefill_file(machine, setup, "/blog", 4 * KB)
+            yield from prefill_file(machine, setup, "/bdata", b_file)
+
+        drive(env, setup_proc())
+
+        a = machine.spawn("A-small")
+        b = machine.spawn("B-big")
+        recorder = LatencyRecorder("A-fsync")
+        env.process(fsync_appender(machine, a, "/blog", duration, recorder=recorder))
+        env.process(
+            _big_fsync_writer(machine, b, "/bdata", nbytes, duration, random.Random(seed))
+        )
+        run_for(env, duration)
+
+        results["mean_ms"].append(1000 * recorder.mean())
+        results["p95_ms"].append(1000 * recorder.percentile(95))
+    results["latency_grows_with_b"] = results["mean_ms"][-1] > results["mean_ms"][0]
+    return results

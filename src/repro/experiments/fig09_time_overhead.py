@@ -1,0 +1,63 @@
+"""Figure 9: the split framework imposes no noticeable time overhead.
+
+No-op schedulers in the block framework vs the split framework, with
+1–100 threads doing I/O to an SSD; total throughput should match.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.experiments.common import build_stack, drive, run_for
+from repro.metrics.recorders import ThroughputTracker
+from repro.schedulers import Noop, SplitNoop
+from repro.units import GB, KB, MB, PAGE_SIZE
+from repro.workloads import prefill_file
+
+
+def _random_io_thread(machine, task, path, duration, tracker, rng):
+    env = machine.env
+    handle = yield from machine.open(task, path)
+    size = handle.inode.size
+    end = env.now + duration
+    while env.now < end:
+        offset = rng.randrange(0, size // PAGE_SIZE) * PAGE_SIZE
+        if rng.random() < 0.5:
+            n = yield from handle.pread(offset, 16 * KB)
+        else:
+            n = yield from handle.pwrite(offset, 16 * KB)
+        tracker.add(n, env.now)
+
+
+def run(thread_counts: List[int] = (1, 10, 100), duration: float = 10.0) -> Dict:
+    results = {"threads": list(thread_counts), "block_mbps": [], "split_mbps": []}
+    for key, scheduler_factory in (("block_mbps", Noop), ("split_mbps", SplitNoop)):
+        for threads in thread_counts:
+            env, machine = build_stack(
+                scheduler=scheduler_factory(), device="ssd", memory_bytes=256 * MB
+            )
+            setup = machine.spawn("setup")
+
+            def setup_proc():
+                yield from prefill_file(machine, setup, "/pool", 512 * MB)
+
+            drive(env, setup_proc())
+            tracker = ThroughputTracker()
+            tracker.start(env.now)
+            for i in range(threads):
+                task = machine.spawn(f"io{i}")
+                env.process(
+                    _random_io_thread(
+                        machine, task, "/pool", duration, tracker, random.Random(i)
+                    )
+                )
+            start = env.now
+            run_for(env, duration)
+            results[key].append(tracker.rate(until=env.now) / MB)
+    overheads = [
+        (block - split) / block if block > 0 else 0.0
+        for block, split in zip(results["block_mbps"], results["split_mbps"])
+    ]
+    results["relative_overhead"] = overheads
+    return results

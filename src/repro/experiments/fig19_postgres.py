@@ -1,0 +1,85 @@
+"""Figure 19: PostgreSQL transaction-latency CDF (the fsync freeze).
+
+Three systems on an SSD:
+
+- **Block-Deadline** — latency spikes at the end of every checkpoint
+  period (the paper: 4% of transactions miss the 15 ms target, >1%
+  take over 500 ms);
+- **Split-Pdflush** — Split-Deadline with pdflush still controlling
+  writeback: better, but untimely background flushes remain;
+- **Split-Deadline** — the scheduler owns writeback completely and
+  eliminates the tail while keeping the median low.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.postgres import Postgres
+from repro.experiments.common import build_stack, drive
+from repro.schedulers import BlockDeadline, SplitDeadline
+from repro.units import MB
+
+CONFIGS = ("block", "split-pdflush", "split")
+
+
+def run_config(
+    config: str,
+    duration: float = 60.0,
+    checkpoint_interval: float = 15.0,
+    table_bytes: int = 128 * MB,
+    workers: int = 8,
+    rate_per_worker: float = 100.0,
+) -> Dict:
+    if config == "block":
+        sched = BlockDeadline(read_deadline=0.005, write_deadline=0.005)
+        writeback_enabled = True
+    elif config == "split-pdflush":
+        sched = SplitDeadline(
+            read_deadline=0.005, fsync_deadline=0.005, dirty_cap=32 * MB
+        )
+        writeback_enabled = True
+    elif config == "split":
+        sched = SplitDeadline(read_deadline=0.005, fsync_deadline=0.005, own_writeback=True)
+        writeback_enabled = False
+    else:
+        raise ValueError(f"config must be one of {CONFIGS}, got {config!r}")
+
+    env, machine = build_stack(
+        scheduler=sched,
+        device="ssd",
+        memory_bytes=1024 * MB,
+        writeback_enabled=writeback_enabled,
+    )
+    db = Postgres(
+        machine,
+        table_bytes=table_bytes,
+        workers=workers,
+        checkpoint_interval=checkpoint_interval,
+    )
+    drive(env, db.setup())
+
+    if config.startswith("split"):
+        for task in db.worker_tasks:
+            sched.set_fsync_deadline(task, 0.005)  # foreground commits
+            sched.set_read_deadline(task, 0.005)
+        sched.set_fsync_deadline(db.checkpoint_task, 0.2)  # checkpoints
+
+    bench = env.process(db.run_bench(duration, rate_per_worker=rate_per_worker))
+    env.run(until=bench)
+    result = bench.value
+    return {
+        "config": config,
+        "transactions": result.count,
+        "median_ms": 1000 * result.median(),
+        "p99_ms": 1000 * result.percentile(99),
+        "max_ms": 1000 * max(result.latencies),
+        "frac_over_15ms": result.fraction_over(0.015),
+        "frac_over_500ms": result.fraction_over(0.5),
+        "checkpoints": db.checkpoints,
+        "latencies": result.latencies,
+    }
+
+
+def run(configs=CONFIGS, **kwargs) -> Dict[str, Dict]:
+    return {config: run_config(config, **kwargs) for config in configs}

@@ -1,0 +1,87 @@
+"""Block allocation with extent-based, delayed-allocation semantics.
+
+A bump allocator with per-file locality: consecutive allocations for
+the same file continue its last extent when possible, while
+interleaved allocations from different files fragment the layout —
+exactly the uncertainty that makes memory-level cost estimation
+imprecise (paper Figure 8) and that the block-level model can later
+correct for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class AllocationError(Exception):
+    """Raised when the device has no free extent of the requested size."""
+
+
+class Allocator:
+    """Allocates 4 KiB blocks inside [start, start + size)."""
+
+    def __init__(self, start_block: int, num_blocks: int):
+        if num_blocks <= 0:
+            raise ValueError("allocator needs at least one block")
+        self.start_block = start_block
+        self.num_blocks = num_blocks
+        self._next = start_block
+        self.allocated = 0
+        #: inode id -> end block of its most recent extent (locality hint).
+        self._file_hints: Dict[int, int] = {}
+        #: Free extents returned by freeing files: list of (start, len).
+        self._free_list: List[Tuple[int, int]] = []
+
+    @property
+    def end_block(self) -> int:
+        return self.start_block + self.num_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        tail = self.end_block - self._next
+        return tail + sum(length for _, length in self._free_list)
+
+    def allocate(self, inode_id: int, nblocks: int) -> int:
+        """Allocate a contiguous extent of *nblocks*; returns its start.
+
+        Tries to extend the file's previous extent (so one file flushed
+        in order stays sequential); otherwise takes from the bump
+        pointer, falling back to the free list.
+        """
+        if nblocks <= 0:
+            raise ValueError("nblocks must be positive")
+
+        hint = self._file_hints.get(inode_id)
+        if hint is not None and hint == self._next and self._next + nblocks <= self.end_block:
+            start = self._next
+            self._next += nblocks
+        elif self._next + nblocks <= self.end_block:
+            start = self._next
+            self._next += nblocks
+        else:
+            start = self._take_from_free_list(nblocks)
+            if start is None:
+                raise AllocationError(
+                    f"no contiguous extent of {nblocks} blocks "
+                    f"({self.free_blocks} free)"
+                )
+        self._file_hints[inode_id] = start + nblocks
+        self.allocated += nblocks
+        return start
+
+    def free(self, start: int, nblocks: int) -> None:
+        """Return an extent to the free list."""
+        if nblocks <= 0:
+            return
+        self._free_list.append((start, nblocks))
+        self.allocated -= nblocks
+
+    def _take_from_free_list(self, nblocks: int) -> Optional[int]:
+        for i, (start, length) in enumerate(self._free_list):
+            if length >= nblocks:
+                if length == nblocks:
+                    self._free_list.pop(i)
+                else:
+                    self._free_list[i] = (start + nblocks, length - nblocks)
+                return start
+        return None

@@ -1,0 +1,51 @@
+"""Inodes: per-file metadata and the index → disk-block map."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.units import PAGE_SIZE
+
+
+class Inode:
+    """A file (or directory): size, block map, and a metadata block.
+
+    The block map stores the on-disk block for each page index; an index
+    with dirty data but no entry is a *delayed allocation* — its
+    location is decided only at writeback time (paper §2.3.1).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, path: str, is_dir: bool = False, metadata_block: Optional[int] = None):
+        self.id = next(Inode._ids)
+        self.path = path
+        self.is_dir = is_dir
+        self.size = 0
+        #: page index -> disk block (absent = unallocated / sparse).
+        self.block_map: Dict[int, int] = {}
+        #: Synthetic on-disk location of this inode's metadata
+        #: (inode table entry + index blocks), for checkpoint writes.
+        self.metadata_block = metadata_block
+        self.nlink = 1
+
+    @property
+    def size_pages(self) -> int:
+        return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def block_of(self, index: int) -> Optional[int]:
+        return self.block_map.get(index)
+
+    def map_block(self, index: int, block: int) -> None:
+        self.block_map[index] = block
+
+    def allocated_fraction(self) -> float:
+        """How much of the file currently has on-disk locations."""
+        if self.size_pages == 0:
+            return 1.0
+        return len(self.block_map) / self.size_pages
+
+    def __repr__(self) -> str:
+        kind = "dir" if self.is_dir else "file"
+        return f"<Inode #{self.id} {kind} {self.path!r} {self.size}B>"

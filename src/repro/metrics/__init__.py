@@ -1,0 +1,22 @@
+"""Measurement helpers: throughput, latency percentiles, time series,
+block-level tracing, and device utilization sampling."""
+
+from repro.metrics.recorders import (
+    LatencyRecorder,
+    ThroughputTracker,
+    TimeSeries,
+    deviation_from_ideal,
+    percentile,
+)
+from repro.metrics.trace import BlockTracer, IOStat, TraceRecord
+
+__all__ = [
+    "BlockTracer",
+    "IOStat",
+    "LatencyRecorder",
+    "ThroughputTracker",
+    "TimeSeries",
+    "TraceRecord",
+    "deviation_from_ideal",
+    "percentile",
+]

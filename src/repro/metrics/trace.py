@@ -1,0 +1,140 @@
+"""Block-level tracing and device-utilization sampling.
+
+`BlockTracer` records every completed request (a blktrace analogue);
+`IOStat` samples device utilization over fixed intervals (an iostat
+analogue).  Both are cheap enough to leave attached during experiments
+and are used by tests to assert *why* a scheduler behaved as it did,
+not just the resulting throughput.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional
+
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.block.queue import BlockQueue
+    from repro.block.request import BlockRequest
+
+
+class TraceRecord(NamedTuple):
+    """One completed block request."""
+
+    time: float
+    op: str
+    block: int
+    nblocks: int
+    latency: float
+    queue_wait: float
+    submitter: str
+    causes: frozenset
+    sync: bool
+    metadata: bool
+
+
+class BlockTracer:
+    """Records completed requests from one block queue."""
+
+    def __init__(self, queue: "BlockQueue", capacity: Optional[int] = None):
+        self.queue = queue
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+        queue.completion_listeners.append(self._on_complete)
+
+    def _on_complete(self, request: "BlockRequest") -> None:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(
+                time=request.complete_time,
+                op=request.op,
+                block=request.block,
+                nblocks=request.nblocks,
+                latency=request.complete_time - request.submit_time,
+                queue_wait=request.dispatch_time - request.submit_time,
+                submitter=request.submitter.name,
+                causes=frozenset(request.causes),
+                sync=request.sync,
+                metadata=request.metadata,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- analyses -----------------------------------------------------------
+
+    def sequential_fraction(self) -> float:
+        """Fraction of requests contiguous with their predecessor."""
+        if len(self.records) < 2:
+            return 1.0
+        sequential = 0
+        for prev, cur in zip(self.records, self.records[1:]):
+            if cur.block == prev.block + prev.nblocks:
+                sequential += 1
+        return sequential / (len(self.records) - 1)
+
+    def bytes_by_cause(self) -> Dict[int, float]:
+        """Completed bytes attributed to each pid (split evenly)."""
+        totals: Dict[int, float] = {}
+        for record in self.records:
+            if not record.causes:
+                continue
+            share = record.nblocks * PAGE_SIZE / len(record.causes)
+            for pid in record.causes:
+                totals[pid] = totals.get(pid, 0.0) + share
+        return totals
+
+    def bytes_by_submitter(self) -> Dict[str, int]:
+        """Completed bytes by the *submitting* task (the block view)."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record.submitter] = (
+                totals.get(record.submitter, 0) + record.nblocks * PAGE_SIZE
+            )
+        return totals
+
+    def mean_latency(self, op: Optional[str] = None) -> float:
+        latencies = [r.latency for r in self.records if op is None or r.op == op]
+        if not latencies:
+            raise ValueError("no matching records")
+        return sum(latencies) / len(latencies)
+
+    def amplification(self, payload_bytes: int) -> float:
+        """Total device bytes relative to an application payload."""
+        if payload_bytes <= 0:
+            raise ValueError("payload must be positive")
+        total = sum(r.nblocks * PAGE_SIZE for r in self.records)
+        return total / payload_bytes
+
+
+class IOStat:
+    """Samples device busy fraction over fixed windows."""
+
+    def __init__(self, queue: "BlockQueue", interval: float = 1.0):
+        self.queue = queue
+        self.interval = interval
+        self.times: List[float] = []
+        self.utilization: List[float] = []
+        self._last_busy = queue.device.stats.busy_time
+        queue.env.process(self._sampler(), name="iostat")
+
+    def _sampler(self):
+        env = self.queue.env
+        while True:
+            yield env.timeout(self.interval)
+            busy = self.queue.device.stats.busy_time
+            self.times.append(env.now)
+            self.utilization.append(
+                min(1.0, (busy - self._last_busy) / self.interval)
+            )
+            self._last_busy = busy
+
+    def mean_utilization(self, since: float = 0.0) -> float:
+        values = [u for t, u in zip(self.times, self.utilization) if t >= since]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

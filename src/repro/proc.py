@@ -1,0 +1,71 @@
+"""Simulated tasks (processes/threads) and the process table.
+
+A :class:`Task` is the scheduling identity used throughout the stack: it
+carries a pid, an I/O priority (CFQ-style, 0 = highest .. 7 = lowest), an
+optional idle-class flag, and per-task accounting.  Kernel helper tasks
+(the writeback daemon, the journal commit task) are Tasks too — that is
+precisely what lets block-level schedulers mis-attribute delegated I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+#: CFQ priority range: 0 is highest, 7 is lowest; the default is 4
+#: (which is what kernel threads such as the writeback daemon run at).
+DEFAULT_PRIORITY = 4
+NUM_PRIORITIES = 8
+
+
+class Task:
+    """A schedulable entity: an application thread or a kernel task."""
+
+    _pids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        priority: int = DEFAULT_PRIORITY,
+        idle_class: bool = False,
+        kernel: bool = False,
+    ):
+        if not 0 <= priority < NUM_PRIORITIES:
+            raise ValueError(f"priority {priority} outside [0, {NUM_PRIORITIES})")
+        self.pid = next(Task._pids)
+        self.name = name
+        self.priority = priority
+        #: CFQ "idle" ionice class: only run when nothing else wants disk.
+        self.idle_class = idle_class
+        #: True for kernel helper threads (writeback, journal commit).
+        self.kernel = kernel
+        #: Bytes of I/O completed on behalf of this task (true causes).
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} pid={self.pid} prio={self.priority}>"
+
+
+class ProcessTable:
+    """Registry of live tasks, keyed by pid."""
+
+    def __init__(self):
+        self._tasks: Dict[int, Task] = {}
+
+    def register(self, task: Task) -> Task:
+        self._tasks[task.pid] = task
+        return task
+
+    def spawn(self, name: str, priority: int = DEFAULT_PRIORITY, **kwargs) -> Task:
+        """Create and register a new task."""
+        return self.register(Task(name, priority=priority, **kwargs))
+
+    def get(self, pid: int) -> Optional[Task]:
+        return self._tasks.get(pid)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks.values())

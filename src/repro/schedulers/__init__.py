@@ -1,0 +1,30 @@
+"""I/O schedulers: baselines from each framework plus the three split
+schedulers introduced by the paper.
+
+Block level (Linux elevator): :class:`Noop`, :class:`CFQ`,
+:class:`BlockDeadline`.
+
+System-call level (SCS): :class:`SCSToken`.
+
+Split level: :class:`SplitNoop`, :class:`AFQ` (Actually Fair Queuing),
+:class:`SplitDeadline`, :class:`SplitToken`.
+"""
+
+from repro.schedulers.noop import Noop, SplitNoop
+from repro.schedulers.cfq import CFQ
+from repro.schedulers.block_deadline import BlockDeadline
+from repro.schedulers.scs import SCSToken
+from repro.schedulers.afq import AFQ
+from repro.schedulers.split_deadline import SplitDeadline
+from repro.schedulers.split_token import SplitToken
+
+__all__ = [
+    "AFQ",
+    "BlockDeadline",
+    "CFQ",
+    "Noop",
+    "SCSToken",
+    "SplitDeadline",
+    "SplitNoop",
+    "SplitToken",
+]

@@ -1,0 +1,83 @@
+"""Stride scheduling (Waldspurger & Weihl), used by AFQ.
+
+Deterministic proportional sharing: each client holds *tickets*; its
+*stride* is inversely proportional; every unit of service advances its
+*pass* by ``stride × cost``.  Always serving the minimum-pass client
+yields service proportional to tickets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.proc import Task
+from repro.schedulers.cfq import priority_weight
+
+STRIDE1 = float(1 << 20)
+
+
+class StrideClient:
+    """Per-task stride state."""
+
+    __slots__ = ("pid", "tickets", "stride", "pass_value")
+
+    def __init__(self, pid: int, tickets: int):
+        if tickets <= 0:
+            raise ValueError("tickets must be positive")
+        self.pid = pid
+        self.tickets = tickets
+        self.stride = STRIDE1 / tickets
+        self.pass_value = 0.0
+
+    def charge(self, cost: float) -> None:
+        """Account *cost* units of service."""
+        self.pass_value += self.stride * cost
+
+
+class StrideScheduler:
+    """A set of stride clients with a shared virtual-time floor."""
+
+    def __init__(self):
+        self._clients: Dict[int, StrideClient] = {}
+
+    def client(self, task: Task) -> StrideClient:
+        """Get (creating if needed) the stride state for *task*.
+
+        Tickets follow the CFQ priority weighting (priority 0 → 8
+        tickets ... priority 7 → 1), with idle-class tasks getting a
+        single ticket; their real starvation is enforced by admission
+        rules, not ticket counts.
+        """
+        state = self._clients.get(task.pid)
+        if state is None:
+            tickets = 1 if task.idle_class else priority_weight(task.priority)
+            state = StrideClient(task.pid, tickets)
+            state.pass_value = self.floor()
+            self._clients[task.pid] = state
+        return state
+
+    def client_by_pid(self, pid: int) -> Optional[StrideClient]:
+        return self._clients.get(pid)
+
+    def floor(self) -> float:
+        """Current virtual time: the minimum pass among clients."""
+        if not self._clients:
+            return 0.0
+        return min(client.pass_value for client in self._clients.values())
+
+    def reenter(self, task: Task) -> StrideClient:
+        """A task waking from idleness may not hoard old credit."""
+        state = self.client(task)
+        state.pass_value = max(state.pass_value, self.floor())
+        return state
+
+    def min_pass_pid(self, pids: Iterable[int]) -> Optional[int]:
+        """The pid with the smallest pass among *pids* (None if empty)."""
+        best_pid, best_pass = None, None
+        for pid in pids:
+            state = self._clients.get(pid)
+            if state is None:
+                continue
+            if best_pass is None or state.pass_value < best_pass:
+                best_pid, best_pass = pid, state.pass_value
+        return best_pid

@@ -1,0 +1,124 @@
+"""The simulation environment: virtual clock and event queue."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+#: Queue priorities: urgent events (process initialisation, interrupts)
+#: run before normal events scheduled for the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run`."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(Exception):
+    """Raised when the event queue runs dry before ``until``."""
+
+
+class Environment:
+    """Execution environment for a simulation.
+
+    Time advances only as events are processed; the clock unit is the
+    *second* throughout the storage simulation.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put *event* on the queue to be processed after *delay*."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process running *generator*."""
+        return Process(self, generator, name=name)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; advance the clock to its time."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An untended failure: crash the simulation loudly rather
+            # than silently dropping the error (Zen: errors should never
+            # pass silently).
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until *until* (a time, an event, or exhaustion).
+
+        - ``until`` is None: run until no events remain.
+        - ``until`` is a number: run until the clock reaches it.
+        - ``until`` is an Event: run until it triggers; returns its value.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be in the future (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=URGENT, delay=at - self._now)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return until._value
+            until.callbacks.append(_stop_simulation)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise RuntimeError("no scheduled events left but until event was not triggered")
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if not event._ok:
+        # Running until a failed event (e.g. a crashed process):
+        # surface the error instead of returning it as a value.
+        event.defused = True
+        raise event._value
+    raise StopSimulation(event._value)

@@ -1,0 +1,6 @@
+"""The system-call layer: the OS facade applications program against."""
+
+from repro.syscall.cpu import CPU
+from repro.syscall.os import OS, FileHandle
+
+__all__ = ["CPU", "FileHandle", "OS"]

@@ -1,0 +1,47 @@
+"""A simple CPU model: N cores as a shared resource.
+
+I/O scheduling cannot isolate CPU-bound interference (paper Figure 15:
+memory-bound and spin-loop B threads slow A despite perfect I/O
+throttling); modelling cores lets that effect emerge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.resources import Resource
+from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proc import Task
+    from repro.sim.core import Environment
+
+#: Fixed kernel-entry cost per system call.
+SYSCALL_OVERHEAD = 2e-6
+#: Single-core memory copy bandwidth (page-cache copies).
+COPY_BANDWIDTH = 3 * GB
+
+
+class CPU:
+    """A pool of cores; tasks consume core-time via :meth:`consume`."""
+
+    def __init__(self, env: "Environment", cores: int = 8):
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        self.env = env
+        self.cores = cores
+        self._resource = Resource(env, capacity=cores)
+        self.busy_time = 0.0
+
+    def consume(self, task: "Task", seconds: float):
+        """Generator: occupy one core for *seconds* of compute."""
+        if seconds <= 0:
+            return
+        with self._resource.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+            self.busy_time += seconds
+
+    def syscall_cost(self, nbytes: int = 0) -> float:
+        """CPU seconds for a syscall moving *nbytes* through the cache."""
+        return SYSCALL_OVERHEAD + nbytes / COPY_BANDWIDTH

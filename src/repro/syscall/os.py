@@ -1,0 +1,229 @@
+"""The OS facade: assembles the stack and exposes the syscall API.
+
+Workloads and applications interact with storage exclusively through
+this class; every call is a generator driven by the simulation
+(``yield from os.read(...)``).  Syscall entry/return hooks fire here —
+this is the "system-call level" of the split framework.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.block.elevator import BlockScheduler
+from repro.block.queue import BlockQueue
+from repro.cache.cache import PageCache
+from repro.cache.writeback import WritebackConfig, WritebackDaemon
+from repro.core.costmodel import DiskCostModel, MemoryCostModel
+from repro.core.framework import SplitFramework
+from repro.core.hooks import SchedulerHooks
+from repro.core.tags import TagManager
+from repro.devices.hdd import HDD
+from repro.fs.ext4 import Ext4
+from repro.fs.inode import Inode
+from repro.proc import ProcessTable, Task
+from repro.syscall.cpu import CPU
+from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.devices.base import Device
+    from repro.sim.core import Environment
+
+
+class FileHandle:
+    """An open file: an inode plus a cursor, with convenience methods."""
+
+    def __init__(self, os: "OS", task: Task, inode: Inode):
+        self.os = os
+        self.task = task
+        self.inode = inode
+        self.pos = 0
+
+    def read(self, nbytes: int):
+        """Generator: read *nbytes* at the cursor, advancing it."""
+        n = yield from self.os.read(self.task, self.inode, self.pos, nbytes)
+        self.pos += n
+        return n
+
+    def write(self, nbytes: int):
+        """Generator: write *nbytes* at the cursor, advancing it."""
+        n = yield from self.os.write(self.task, self.inode, self.pos, nbytes)
+        self.pos += n
+        return n
+
+    def append(self, nbytes: int):
+        """Generator: write *nbytes* at end of file."""
+        n = yield from self.os.write(self.task, self.inode, self.inode.size, nbytes)
+        return n
+
+    def pread(self, offset: int, nbytes: int):
+        return (yield from self.os.read(self.task, self.inode, offset, nbytes))
+
+    def pwrite(self, offset: int, nbytes: int):
+        return (yield from self.os.write(self.task, self.inode, offset, nbytes))
+
+    def fsync(self):
+        return (yield from self.os.fsync(self.task, self.inode))
+
+    def seek(self, offset: int) -> None:
+        self.pos = offset
+
+
+class OS:
+    """One simulated machine: CPU, memory, storage stack, scheduler."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        device: Optional["Device"] = None,
+        fs_class=Ext4,
+        scheduler=None,
+        memory_bytes: int = 16 * GB,
+        cores: int = 8,
+        writeback_config: Optional[WritebackConfig] = None,
+        writeback_enabled: bool = True,
+        fs_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        self.env = env
+        self.tags = TagManager()
+        self.process_table = ProcessTable()
+        self.cpu = CPU(env, cores)
+        self.device = device if device is not None else HDD()
+
+        if scheduler is None:
+            from repro.schedulers.noop import Noop
+
+            scheduler = Noop()
+
+        if isinstance(scheduler, SchedulerHooks):
+            self.scheduler: Optional[SchedulerHooks] = scheduler
+            elevator = scheduler.make_elevator()
+        elif isinstance(scheduler, BlockScheduler):
+            self.scheduler = None
+            elevator = scheduler
+        else:
+            raise TypeError(f"unsupported scheduler {scheduler!r}")
+        self.elevator = elevator
+
+        self.block_queue = BlockQueue(env, self.device, elevator, self.process_table)
+        self.cache = PageCache(env, self.tags, memory_bytes)
+        self.fs = fs_class(
+            env, self.cache, self.block_queue, self.tags, self.process_table,
+            **(fs_kwargs or {}),
+        )
+        self.writeback = WritebackDaemon(
+            env, self.cache, self.fs, self.process_table,
+            config=writeback_config, enabled=writeback_enabled,
+        )
+        self.fs.writeback = self.writeback
+        self.memory_cost_model = MemoryCostModel()
+        self.disk_cost_model = DiskCostModel(self.device)
+
+        self.framework = SplitFramework(self)
+        if self.scheduler is not None:
+            self.framework.install(self.scheduler)
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, name: str, priority: int = 4, **kwargs) -> Task:
+        """Create an application task."""
+        return self.process_table.spawn(name, priority=priority, **kwargs)
+
+    # -- hook plumbing --------------------------------------------------------
+
+    def _entry(self, task: Task, call: str, info: Dict[str, Any]):
+        if self.scheduler is not None:
+            gen = self.scheduler.syscall_entry(task, call, info)
+            if gen is not None:
+                yield from gen
+
+    def _return(self, task: Task, call: str, info: Dict[str, Any]) -> None:
+        if self.scheduler is not None:
+            self.scheduler.syscall_return(task, call, info)
+
+    # -- the syscall API --------------------------------------------------------
+
+    def creat(self, task: Task, path: str):
+        """Generator: create a file, returning an open handle."""
+        info = {"path": path}
+        yield from self._entry(task, "creat", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        inode = self.fs.create(task, path)
+        self._return(task, "creat", info)
+        return FileHandle(self, task, inode)
+
+    def mkdir(self, task: Task, path: str):
+        """Generator: create a directory."""
+        info = {"path": path}
+        yield from self._entry(task, "mkdir", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        inode = self.fs.create(task, path, is_dir=True)
+        self._return(task, "mkdir", info)
+        return inode
+
+    def open(self, task: Task, path: str, create: bool = False):
+        """Generator: open (optionally creating) a file."""
+        inode = self.fs.lookup(path)
+        if inode is None:
+            if not create:
+                raise FileNotFoundError(path)
+            return (yield from self.creat(task, path))
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        return FileHandle(self, task, inode)
+
+    def read(self, task: Task, inode: Inode, offset: int, nbytes: int, direct: bool = False):
+        """Generator: read; returns bytes actually read.
+
+        ``direct=True`` is O_DIRECT: the page cache is bypassed (used
+        by hypervisors running with cache=none).
+        """
+        info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
+        yield from self._entry(task, "read", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
+        if direct:
+            n = yield from self.fs.read_direct(task, inode, offset, nbytes)
+        else:
+            n = yield from self.fs.read(task, inode, offset, nbytes)
+        info["result"] = n
+        self._return(task, "read", info)
+        return n
+
+    def write(self, task: Task, inode: Inode, offset: int, nbytes: int, direct: bool = False):
+        """Generator: write; returns bytes written.
+
+        Buffered by default; ``direct=True`` is synchronous O_DIRECT.
+        """
+        info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
+        yield from self._entry(task, "write", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
+        if direct:
+            n = yield from self.fs.write_direct(task, inode, offset, nbytes)
+        else:
+            n = yield from self.fs.write(task, inode, offset, nbytes)
+        info["result"] = n
+        self._return(task, "write", info)
+        return n
+
+    def fsync(self, task: Task, inode: Inode):
+        """Generator: force the file durable."""
+        info = {"inode": inode, "dirty_bytes": self.cache.dirty_bytes_of(inode.id)}
+        yield from self._entry(task, "fsync", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        yield from self.fs.fsync(task, inode)
+        self._return(task, "fsync", info)
+
+    def truncate(self, task: Task, inode: Inode, new_size: int):
+        """Generator: resize a file (shrinking discards dirty buffers)."""
+        info = {"inode": inode, "new_size": new_size}
+        yield from self._entry(task, "truncate", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        self.fs.truncate(task, inode, new_size)
+        self._return(task, "truncate", info)
+
+    def unlink(self, task: Task, path: str):
+        """Generator: delete a file (dirty buffers are discarded)."""
+        info = {"path": path}
+        yield from self._entry(task, "unlink", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        self.fs.unlink(task, path)
+        self._return(task, "unlink", info)

@@ -1,0 +1,32 @@
+"""Common units and constants for the storage stack.
+
+All sizes are in bytes, all times in seconds, and disk space is managed
+in 4 KiB blocks (one block backs one page-cache page).
+"""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Size of a page-cache page and of a disk block.
+PAGE_SIZE = 4 * KB
+
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of pages needed to hold *nbytes* (at least one for nbytes>0)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def align_down(nbytes: int, unit: int = PAGE_SIZE) -> int:
+    """Round *nbytes* down to a multiple of *unit*."""
+    return (nbytes // unit) * unit
+
+
+def align_up(nbytes: int, unit: int = PAGE_SIZE) -> int:
+    """Round *nbytes* up to a multiple of *unit*."""
+    return ((nbytes + unit - 1) // unit) * unit

@@ -1,0 +1,27 @@
+"""Workload generators used across the paper's experiments."""
+
+from repro.workloads.generators import (
+    fsync_appender,
+    prefill_file,
+    random_write_burst,
+    random_writer_fsync,
+    run_pattern_reader,
+    run_pattern_writer,
+    sequential_overwriter,
+    sequential_reader,
+    sequential_writer,
+    spin_loop,
+)
+
+__all__ = [
+    "fsync_appender",
+    "prefill_file",
+    "random_write_burst",
+    "random_writer_fsync",
+    "run_pattern_reader",
+    "run_pattern_writer",
+    "sequential_overwriter",
+    "sequential_reader",
+    "sequential_writer",
+    "spin_loop",
+]

@@ -1,0 +1,282 @@
+"""Workload process generators.
+
+Each generator is a simulated thread body: drive it with
+``env.process(workload(...))``.  They operate through the OS syscall
+API only, so every scheduler hook applies to them exactly as it would
+to a real application.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.metrics.recorders import LatencyRecorder, ThroughputTracker
+from repro.units import KB, MB, PAGE_SIZE
+
+
+def prefill_file(os, task, path: str, size: int, chunk: int = 1 * MB, drop: bool = True):
+    """Create *path*, write *size* bytes sequentially, fsync.
+
+    With ``drop=True`` the file's pages are evicted afterwards so
+    subsequent readers start cold (the common setup for the paper's
+    read experiments).
+    """
+    handle = yield from os.creat(task, path)
+    written = 0
+    while written < size:
+        n = yield from handle.append(min(chunk, size - written))
+        written += n
+    yield from handle.fsync()
+    if drop:
+        os.cache.free_file(handle.inode.id)
+    return handle
+
+
+def sequential_reader(
+    os,
+    task,
+    path: str,
+    duration: float,
+    chunk: int = 1 * MB,
+    tracker: Optional[ThroughputTracker] = None,
+    cold: bool = False,
+):
+    """Read the file sequentially (wrapping) until *duration* elapses."""
+    env = os.env
+    handle = yield from os.open(task, path)
+    if cold:
+        os.cache.free_file(handle.inode.id)
+    size = handle.inode.size
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    offset = 0
+    total = 0
+    while env.now < end:
+        n = yield from handle.pread(offset, min(chunk, size - offset))
+        if n <= 0:
+            offset = 0
+            if cold:
+                os.cache.free_file(handle.inode.id)
+            continue
+        offset = (offset + n) % size
+        if offset == 0 and cold:
+            # Wrapped around: drop the file so every pass hits the disk.
+            os.cache.free_file(handle.inode.id)
+        total += n
+        if tracker is not None:
+            tracker.add(n, env.now)
+    return total
+
+
+def sequential_writer(
+    os,
+    task,
+    path: str,
+    duration: float,
+    chunk: int = 64 * KB,
+    tracker: Optional[ThroughputTracker] = None,
+):
+    """Append to the file continuously until *duration* elapses."""
+    env = os.env
+    handle = yield from os.open(task, path, create=True)
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    total = 0
+    while env.now < end:
+        n = yield from handle.append(chunk)
+        total += n
+        if tracker is not None:
+            tracker.add(n, env.now)
+    return total
+
+
+def sequential_overwriter(
+    os,
+    task,
+    path: str,
+    duration: float,
+    region: int = 4 * MB,
+    chunk: int = 64 * KB,
+    tracker: Optional[ThroughputTracker] = None,
+):
+    """Overwrite the same *region* repeatedly (memory-speed workload)."""
+    env = os.env
+    handle = yield from os.open(task, path, create=True)
+    if handle.inode.size < region:
+        yield from handle.pwrite(0, region)
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    offset, total = 0, 0
+    while env.now < end:
+        n = yield from handle.pwrite(offset, chunk)
+        offset = (offset + n) % region
+        total += n
+        if tracker is not None:
+            tracker.add(n, env.now)
+    return total
+
+
+def random_writer_fsync(
+    os,
+    task,
+    path: str,
+    duration: float,
+    file_size: int = 64 * MB,
+    block: int = 4 * KB,
+    tracker: Optional[ThroughputTracker] = None,
+    rng: Optional[random.Random] = None,
+):
+    """Random 4 KB write + fsync loop (Figure 11c's sync workload)."""
+    env = os.env
+    rng = rng or random.Random(task.pid)
+    handle = yield from os.open(task, path, create=True)
+    if handle.inode.size < file_size:
+        yield from prefill_region(os, handle, file_size)
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    total = 0
+    while env.now < end:
+        offset = rng.randrange(0, file_size // block) * block
+        n = yield from handle.pwrite(offset, block)
+        yield from handle.fsync()
+        total += n
+        if tracker is not None:
+            tracker.add(n, env.now)
+    return total
+
+
+def prefill_region(os, handle, size: int, chunk: int = 1 * MB):
+    """Extend *handle*'s file to *size* bytes and flush it."""
+    offset = handle.inode.size
+    while offset < size:
+        n = yield from handle.pwrite(offset, min(chunk, size - offset))
+        offset += n
+    yield from handle.fsync()
+
+
+def fsync_appender(
+    os,
+    task,
+    path: str,
+    duration: float,
+    append: int = 4 * KB,
+    recorder: Optional[LatencyRecorder] = None,
+    think: float = 0.0,
+):
+    """Append *append* bytes and fsync, recording fsync call latency.
+
+    Mimics a database log appender (thread A of Figures 5 and 12).
+    """
+    env = os.env
+    handle = yield from os.open(task, path, create=True)
+    end = env.now + duration
+    count = 0
+    while env.now < end:
+        yield from handle.append(append)
+        start = env.now
+        yield from handle.fsync()
+        if recorder is not None:
+            recorder.record(env.now, env.now - start)
+        count += 1
+        if think > 0:
+            yield env.timeout(think)
+    return count
+
+
+def random_write_burst(
+    os,
+    task,
+    path: str,
+    total: int,
+    file_size: int = 256 * MB,
+    block: int = 4 * KB,
+    rng: Optional[random.Random] = None,
+):
+    """Dirty *total* bytes at random offsets as fast as possible.
+
+    Thread B of Figure 1: a short burst that, under a block-level
+    scheduler, poisons the write buffer for minutes.
+    """
+    rng = rng or random.Random(task.pid)
+    handle = yield from os.open(task, path, create=True)
+    if handle.inode.size < file_size:
+        yield from prefill_region(os, handle, file_size)
+    written = 0
+    while written < total:
+        offset = rng.randrange(0, file_size // block) * block
+        n = yield from handle.pwrite(offset, block)
+        written += n
+    return written
+
+
+def run_pattern_reader(
+    os,
+    task,
+    path: str,
+    run_bytes: int,
+    duration: float,
+    tracker: Optional[ThroughputTracker] = None,
+    rng: Optional[random.Random] = None,
+    chunk: int = 64 * KB,
+):
+    """Read *run_bytes* sequentially, seek randomly, repeat (§2.3.3)."""
+    env = os.env
+    rng = rng or random.Random(task.pid)
+    handle = yield from os.open(task, path)
+    size = handle.inode.size
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    while env.now < end:
+        offset = rng.randrange(0, max(1, (size - run_bytes) // PAGE_SIZE)) * PAGE_SIZE
+        done = 0
+        while done < run_bytes and env.now < end:
+            n = yield from handle.pread(offset + done, min(chunk, run_bytes - done))
+            if n <= 0:
+                break
+            done += n
+            if tracker is not None:
+                tracker.add(n, env.now)
+
+
+def run_pattern_writer(
+    os,
+    task,
+    path: str,
+    run_bytes: int,
+    duration: float,
+    tracker: Optional[ThroughputTracker] = None,
+    rng: Optional[random.Random] = None,
+    chunk: int = 64 * KB,
+):
+    """Write *run_bytes* sequentially, seek randomly, repeat."""
+    env = os.env
+    rng = rng or random.Random(task.pid)
+    handle = yield from os.open(task, path, create=True)
+    size = max(handle.inode.size, run_bytes + PAGE_SIZE)
+    end = env.now + duration
+    if tracker is not None:
+        tracker.start(env.now)
+    while env.now < end:
+        offset = rng.randrange(0, max(1, (size - run_bytes) // PAGE_SIZE)) * PAGE_SIZE
+        done = 0
+        while done < run_bytes and env.now < end:
+            n = yield from handle.pwrite(offset + done, min(chunk, run_bytes - done))
+            if n <= 0:
+                break
+            done += n
+            if tracker is not None:
+                tracker.add(n, env.now)
+
+
+def spin_loop(os, task, duration: float, slice_seconds: float = 0.001):
+    """Burn CPU without any I/O (Figure 15's control workload)."""
+    env = os.env
+    end = env.now + duration
+    while env.now < end:
+        yield from os.cpu.consume(task, slice_seconds)

@@ -1,0 +1,109 @@
+"""Tests for the HDFS-like distributed filesystem."""
+
+import pytest
+
+from repro import Environment, MB
+from repro.apps.hdfs import DataNode, HDFSCluster
+from repro.metrics import ThroughputTracker
+from repro.schedulers import SplitToken
+
+
+def test_replication_cannot_exceed_workers():
+    env = Environment()
+    with pytest.raises(ValueError):
+        HDFSCluster(env, workers=2, replication=3)
+
+
+def test_place_block_returns_distinct_replicas():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=5, replication=3)
+    replicas = cluster.place_block()
+    assert len(replicas) == 3
+    assert len({node.index for node in replicas}) == 3
+
+
+def test_write_replicates_three_ways():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=4, replication=3, block_size=4 * MB)
+    proc = env.process(cluster.write_file("acct", "/f", 8 * MB))
+    env.run(until=proc)
+    assert proc.value == 8 * MB
+    # Replica files hold 3x the client bytes across the cluster.
+    total_replica_bytes = sum(node.bytes_written for node in cluster.datanodes)
+    assert total_replica_bytes == 3 * 8 * MB
+
+
+def test_block_boundaries_create_new_placements():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=5, replication=2, block_size=2 * MB, seed=1)
+    proc = env.process(cluster.write_file("acct", "/f", 6 * MB))
+    env.run(until=proc)
+    # Three blocks were placed (6 MB / 2 MB).
+    assert cluster._block_counter == 3
+
+
+def test_account_limit_requires_token_scheduler():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=3, replication=2)  # no scheduler
+    with pytest.raises(RuntimeError):
+        cluster.set_account_limit("acct", 1 * MB)
+
+
+def test_throttled_account_writes_slower():
+    def run(throttle):
+        env = Environment()
+        cluster = HDFSCluster(
+            env, workers=4, replication=3, block_size=4 * MB,
+            scheduler_factory=SplitToken,
+        )
+        if throttle:
+            cluster.set_account_limit("acct", 2 * MB)
+        tracker = ThroughputTracker()
+        env.process(cluster.write_file("acct", "/f", 1024 * MB,
+                                       duration=10.0, tracker=tracker))
+        env.run(until=10.0)
+        return tracker.rate(env.now)
+
+    free_rate = run(throttle=False)
+    capped_rate = run(throttle=True)
+    assert capped_rate < free_rate / 2
+
+
+def test_account_tasks_are_per_node_and_cached():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=2, replication=2)
+    node = cluster.datanodes[0]
+    assert node.account_task("a") is node.account_task("a")
+    assert node.account_task("a") is not cluster.datanodes[1].account_task("a")
+
+
+def test_read_file_returns_written_bytes():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=4, replication=2, block_size=2 * MB)
+    write = env.process(cluster.write_file("acct", "/f", 5 * MB))
+    env.run(until=write)
+
+    read = env.process(cluster.read_file("acct", "/f"))
+    env.run(until=read)
+    assert read.value == 5 * MB
+
+
+def test_read_missing_file_returns_zero():
+    env = Environment()
+    cluster = HDFSCluster(env, workers=3, replication=2)
+    read = env.process(cluster.read_file("acct", "/ghost"))
+    env.run(until=read)
+    assert read.value == 0
+
+
+def test_read_tracker_counts_client_bytes():
+    from repro.metrics import ThroughputTracker
+
+    env = Environment()
+    cluster = HDFSCluster(env, workers=3, replication=2, block_size=2 * MB)
+    write = env.process(cluster.write_file("acct", "/f", 4 * MB))
+    env.run(until=write)
+    tracker = ThroughputTracker()
+    read = env.process(cluster.read_file("acct", "/f", tracker=tracker))
+    env.run(until=read)
+    assert tracker.bytes_total == 4 * MB

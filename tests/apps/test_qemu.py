@@ -1,0 +1,130 @@
+"""Tests for QEMU-style nested stacks."""
+
+import pytest
+
+from repro import Environment, OS, SSD, KB, MB
+from repro.apps.qemu import FileBackedDevice, QemuVM
+from repro.schedulers import Noop, SplitToken
+
+
+def boot_vm(scheduler=None, **kwargs):
+    env = Environment()
+    host = OS(env, device=SSD(), scheduler=scheduler or Noop(), memory_bytes=512 * MB)
+    vm = QemuVM(host, image_bytes=64 * MB, guest_memory=64 * MB, **kwargs)
+    proc = env.process(vm.boot())
+    env.run(until=proc)
+    return env, host, vm
+
+
+def test_boot_builds_guest_stack():
+    env, host, vm = boot_vm()
+    assert vm.guest is not None
+    assert vm.image.inode.size == 64 * MB
+    assert vm.guest.device.capacity_blocks == (64 * MB) // (4 * KB)
+
+
+def test_spawn_requires_boot():
+    env = Environment()
+    host = OS(env, device=SSD(), scheduler=Noop())
+    vm = QemuVM(host)
+    with pytest.raises(RuntimeError):
+        vm.spawn("guest-task")
+
+
+def test_guest_io_flows_to_host_image():
+    env, host, vm = boot_vm()
+    guest_task = vm.spawn("writer")
+
+    def proc():
+        handle = yield from vm.guest.creat(guest_task, "/data")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    p = env.process(proc())
+    env.run(until=p)
+    # The guest fsync produced writes on the guest device, which became
+    # host syscalls by the VM's host task.
+    assert vm.guest.device.stats.writes > 0
+    assert host.cache.dirty_bytes_of(vm.image.inode.id) > 0 or \
+        host.device.stats.writes > 0
+
+
+def test_guest_cache_hits_avoid_host_io():
+    env, host, vm = boot_vm()
+    guest_task = vm.spawn("reader")
+
+    def proc():
+        handle = yield from vm.guest.creat(guest_task, "/data")
+        yield from handle.append(256 * KB)
+        host_reads_before = vm.guest.device.stats.reads
+        yield from handle.pread(0, 256 * KB)  # guest cache hit
+        return vm.guest.device.stats.reads - host_reads_before
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == 0
+
+
+def test_host_throttle_applies_to_whole_vm():
+    scheduler = SplitToken()
+    env, host, vm = boot_vm(scheduler=scheduler)
+    scheduler.set_limit(vm.host_task, rate=1 * MB, cap=64 * KB)
+    guest_task = vm.spawn("writer")
+
+    def proc():
+        handle = yield from vm.guest.creat(guest_task, "/data")
+        start = env.now
+        yield from handle.append(2 * MB)
+        yield from handle.fsync()  # push through the guest to the host
+        return env.now - start
+
+    p = env.process(proc())
+    env.run(until=p)
+    # 2 MB through a 1 MB/s host cap: at least ~1.5 simulated seconds.
+    assert p.value > 1.0
+
+
+def test_file_backed_device_rejects_sync_interface():
+    env, host, vm = boot_vm()
+    with pytest.raises(RuntimeError):
+        vm.guest.device.service_time("read", 0, 1)
+
+
+def test_vm_device_accounts_io():
+    env, host, vm = boot_vm()
+    guest_task = vm.spawn("w")
+
+    def proc():
+        handle = yield from vm.guest.creat(guest_task, "/f")
+        yield from handle.append(512 * KB)
+        yield from handle.fsync()
+
+    p = env.process(proc())
+    env.run(until=p)
+    stats = vm.guest.device.stats
+    assert stats.bytes_written >= 512 * KB
+    assert stats.busy_time > 0
+
+
+def test_vm_names_are_isolated():
+    env = Environment()
+    host = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=512 * MB)
+    vm_a = QemuVM(host, name="alpha", image_bytes=64 * MB, guest_memory=32 * MB)
+    vm_b = QemuVM(host, name="beta", image_bytes=64 * MB, guest_memory=32 * MB)
+
+    def setup():
+        yield from vm_a.boot()
+        yield from vm_b.boot()
+
+    p = env.process(setup())
+    env.run(until=p)
+    assert vm_a.image.inode.path != vm_b.image.inode.path
+    task = vm_a.spawn("x")
+    assert task.name.startswith("alpha/")
+
+
+def test_tiny_image_rejected_with_clear_error():
+    env = Environment()
+    host = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    with pytest.raises(ValueError, match="48 MiB"):
+        QemuVM(host, image_bytes=16 * MB)

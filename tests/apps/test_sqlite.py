@@ -1,0 +1,46 @@
+"""Tests for the SQLite-like WAL database."""
+
+from repro import Environment, OS, SSD, MB
+from repro.apps.sqlite import SQLiteDB
+from repro.schedulers import Noop
+
+
+def make_db(**kwargs):
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=512 * MB)
+    db = SQLiteDB(machine, table_bytes=8 * MB, **kwargs)
+    proc = env.process(db.setup())
+    env.run(until=proc)
+    return env, machine, db
+
+
+def test_setup_creates_table_and_wal():
+    env, machine, db = make_db()
+    assert db.table.inode.size == 8 * MB
+    assert db.wal.inode.size == 0
+
+
+def test_transactions_append_to_wal_and_record_latency():
+    env, machine, db = make_db()
+    bench = env.process(db.run_updates(duration=2.0))
+    env.run(until=bench)
+    latency = bench.value
+    assert latency.count > 10
+    assert db.wal.inode.size == latency.count * db.wal_record
+    assert all(lat > 0 for lat in latency.latencies)
+
+
+def test_checkpointer_fires_at_threshold():
+    env, machine, db = make_db(checkpoint_threshold=20)
+    bench = env.process(db.run_updates(duration=3.0))
+    env.run(until=bench)
+    assert db.checkpoints >= 1
+    # Checkpointing wrote table pages via its own task.
+    assert db.checkpoint_task.bytes_written > 0
+
+
+def test_high_threshold_defers_checkpoints():
+    env, machine, db = make_db(checkpoint_threshold=10**6)
+    bench = env.process(db.run_updates(duration=2.0))
+    env.run(until=bench)
+    assert db.checkpoints == 0

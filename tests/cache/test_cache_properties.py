@@ -1,0 +1,84 @@
+"""Property-based tests on page-cache invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import PageCache, PageKey
+from repro.core.tags import TagManager
+from repro.proc import Task
+from repro.sim import Environment
+from repro.units import MB, PAGE_SIZE
+
+
+class CacheMachine:
+    """Drives a cache through random operations, checking invariants."""
+
+    def __init__(self, capacity_pages=64):
+        self.env = Environment()
+        self.tags = TagManager()
+        self.cache = PageCache(self.env, self.tags, memory_bytes=capacity_pages * PAGE_SIZE)
+        self.tasks = [Task(f"t{i}") for i in range(3)]
+
+    def apply(self, op):
+        kind, inode_id, index, task_index = op
+        key = PageKey(inode_id, index)
+        if kind == 0:
+            self.cache.mark_dirty(key, self.tasks[task_index])
+        elif kind == 1:
+            self.cache.insert_clean(key)
+        elif kind == 2:
+            self.cache.free(key)
+        elif kind == 3:
+            page = self.cache.lookup(key)
+            if page is not None and page.dirty and not page.under_writeback:
+                page.write_submitted()
+                page.write_completed()
+
+    def check_invariants(self):
+        dirty_count = sum(
+            1 for key in list(self.cache._dirty)
+        )
+        assert self.cache.dirty_bytes == dirty_count * PAGE_SIZE
+        # Every dirty-index entry refers to a live, dirty page.
+        for key in self.cache._dirty:
+            page = self.cache._pages.get(key)
+            assert page is not None and page.dirty
+        # Per-inode index is consistent with the global one.
+        per_inode = {
+            key for index in self.cache._dirty_by_inode.values() for key in index
+        }
+        assert per_inode == set(self.cache._dirty)
+        # Clean LRU never contains dirty pages.
+        for key in self.cache._clean_lru:
+            page = self.cache._pages.get(key)
+            assert page is None or not page.dirty
+        # Dirty pages are never evicted: cache may exceed capacity only
+        # by the number of dirty pages.
+        assert len(self.cache._pages) <= self.cache.capacity_pages + dirty_count
+
+
+operations = st.tuples(
+    st.integers(min_value=0, max_value=3),   # op kind
+    st.integers(min_value=1, max_value=4),   # inode
+    st.integers(min_value=0, max_value=100),  # page index
+    st.integers(min_value=0, max_value=2),   # task
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=200))
+def test_cache_invariants_under_random_ops(ops):
+    machine = CacheMachine()
+    for op in ops:
+        machine.apply(op)
+        machine.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(operations, min_size=1, max_size=100))
+def test_tag_memory_never_negative(ops):
+    machine = CacheMachine()
+    for op in ops:
+        machine.apply(op)
+        assert machine.tags.bytes_allocated >= 0
+        assert machine.tags.max_bytes_allocated >= machine.tags.bytes_allocated

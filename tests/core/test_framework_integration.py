@@ -1,0 +1,28 @@
+"""Framework wiring details across scheduler kinds."""
+
+from repro import Environment, OS, SSD, MB
+from repro.core.framework import SplitFramework
+from repro.schedulers import CFQ, SCSToken, SplitToken
+
+
+def test_scs_installs_cfq_elevator_beneath():
+    """SCS sits above the stock kernel elevator, as on real Linux."""
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=SCSToken(), memory_bytes=64 * MB)
+    assert isinstance(machine.elevator, CFQ)
+    assert machine.scheduler is not None  # syscall hooks active
+
+
+def test_split_scheduler_is_both_hooks_and_elevator():
+    env = Environment()
+    split = SplitToken()
+    machine = OS(env, device=SSD(), scheduler=split, memory_bytes=64 * MB)
+    assert machine.elevator is split
+    assert machine.cache.buffer_dirty_hook is not None
+
+
+def test_framework_object_tracks_installed_scheduler():
+    env = Environment()
+    split = SplitToken()
+    machine = OS(env, device=SSD(), scheduler=split, memory_bytes=64 * MB)
+    assert machine.framework.scheduler is split

@@ -1,0 +1,119 @@
+"""Tests for cause sets and proxy tracking (paper §3.1/§4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tags import CauseSet, TagManager
+from repro.proc import Task
+
+
+def test_cause_set_of_tasks():
+    a, b = Task("a"), Task("b")
+    causes = CauseSet.of(a, b)
+    assert a in causes
+    assert b in causes
+    assert len(causes) == 2
+
+
+def test_cause_set_union():
+    one = CauseSet([1, 2])
+    two = CauseSet([2, 3])
+    assert (one | two) == CauseSet([1, 2, 3])
+
+
+def test_cause_set_is_immutable_value():
+    causes = CauseSet([1])
+    union = causes | CauseSet([2])
+    assert causes == CauseSet([1])  # original untouched
+    assert union != causes
+
+
+def test_cause_set_hashable():
+    assert hash(CauseSet([1, 2])) == hash(CauseSet([2, 1]))
+    assert {CauseSet([1]): "x"}[CauseSet([1])] == "x"
+
+
+def test_empty_cause_set_is_falsy():
+    assert not CauseSet()
+    assert CauseSet([1])
+
+
+@given(st.sets(st.integers(min_value=1, max_value=1000)), st.sets(st.integers(min_value=1, max_value=1000)))
+def test_union_is_commutative_and_idempotent(a, b):
+    x, y = CauseSet(a), CauseSet(b)
+    assert (x | y) == (y | x)
+    assert (x | x) == x
+
+
+def test_current_causes_defaults_to_self():
+    tags = TagManager()
+    task = Task("app")
+    assert tags.current_causes(task) == CauseSet([task.pid])
+
+
+def test_proxy_redirects_causes():
+    """Figure 7: pages dirtied by a proxy map to the tasks it serves."""
+    tags = TagManager()
+    p1, p2, p3 = Task("p1"), Task("p2"), Task("p3-writeback", kernel=True)
+    served = CauseSet.of(p1, p2)
+    tags.set_proxy(p3, served)
+    assert tags.is_proxy(p3)
+    assert tags.current_causes(p3) == served
+    tags.clear_proxy(p3)
+    assert not tags.is_proxy(p3)
+    assert tags.current_causes(p3) == CauseSet([p3.pid])
+
+
+def test_proxy_causes_can_grow():
+    tags = TagManager()
+    journal, a, b = Task("jbd2", kernel=True), Task("a"), Task("b")
+    tags.set_proxy(journal, CauseSet.of(a))
+    tags.add_proxy_causes(journal, CauseSet.of(b))
+    assert tags.current_causes(journal) == CauseSet.of(a, b)
+
+
+def test_set_proxy_requires_cause_set():
+    tags = TagManager()
+    with pytest.raises(TypeError):
+        tags.set_proxy(Task("t"), {1, 2})
+
+
+def test_tag_accounting_tracks_bytes():
+    tags = TagManager()
+    page = object()
+    tags.account_tag(page, CauseSet([1, 2]))
+    expected = TagManager.TAG_OVERHEAD_BASE + 2 * TagManager.TAG_OVERHEAD_PER_PID
+    assert tags.bytes_allocated == expected
+    assert tags.live_tags == 1
+    tags.release_tag(page)
+    assert tags.bytes_allocated == 0
+    assert tags.live_tags == 0
+
+
+def test_tag_accounting_replaces_not_accumulates():
+    tags = TagManager()
+    page = object()
+    tags.account_tag(page, CauseSet([1]))
+    tags.account_tag(page, CauseSet([1, 2, 3]))
+    expected = TagManager.TAG_OVERHEAD_BASE + 3 * TagManager.TAG_OVERHEAD_PER_PID
+    assert tags.bytes_allocated == expected
+    assert tags.live_tags == 1
+
+
+def test_tag_accounting_peak_watermark():
+    tags = TagManager()
+    pages = [object() for _ in range(5)]
+    for page in pages:
+        tags.account_tag(page, CauseSet([1]))
+    peak = tags.bytes_allocated
+    for page in pages:
+        tags.release_tag(page)
+    assert tags.max_bytes_allocated == peak
+    assert tags.bytes_allocated == 0
+
+
+def test_release_unknown_tag_is_noop():
+    tags = TagManager()
+    tags.release_tag(object())
+    assert tags.bytes_allocated == 0

@@ -1,0 +1,92 @@
+"""Tests for RAID0 striping and jitter injection."""
+
+import pytest
+
+from repro.devices import HDD, JitteryDevice, RAID0, SSD
+from repro.units import MB, PAGE_SIZE
+
+
+def test_raid0_needs_members_and_stripe():
+    with pytest.raises(ValueError):
+        RAID0([])
+    with pytest.raises(ValueError):
+        RAID0([SSD()], stripe_blocks=0)
+
+
+def test_raid0_capacity_is_members_sum():
+    members = [SSD(capacity_blocks=1000), SSD(capacity_blocks=1200)]
+    array = RAID0(members)
+    assert array.capacity_blocks == 2000  # limited by the smaller member
+
+
+def test_raid0_block_mapping_round_robins_stripes():
+    array = RAID0([SSD(), SSD()], stripe_blocks=4)
+    assert array._locate(0) == (0, 0)
+    assert array._locate(4) == (1, 0)
+    assert array._locate(8) == (0, 4)
+    assert array._locate(5) == (1, 1)
+
+
+def test_raid0_large_read_faster_than_single_disk():
+    blocks = (64 * MB) // PAGE_SIZE
+    single = HDD()
+    t_single = single.service_time("read", 0, blocks)
+    array = RAID0([HDD(), HDD(), HDD(), HDD()], stripe_blocks=256)
+    t_array = array.service_time("read", 0, blocks)
+    assert t_array < t_single / 2  # members transfer in parallel
+
+
+def test_raid0_stats_accumulate_on_array():
+    array = RAID0([SSD(), SSD()])
+    array.service_time("write", 0, 64)
+    assert array.stats.writes == 1
+    assert array.stats.bytes_written == 64 * PAGE_SIZE
+
+
+def test_raid0_bounds_checked():
+    array = RAID0([SSD(capacity_blocks=100)], stripe_blocks=4)
+    with pytest.raises(ValueError):
+        array.service_time("read", 99, 2)
+
+
+def test_jittery_probability_validated():
+    with pytest.raises(ValueError):
+        JitteryDevice(SSD(), spike_probability=1.5)
+
+
+def test_jittery_adds_spikes_deterministically():
+    def run(seed):
+        device = JitteryDevice(SSD(), spike_probability=0.5, spike_duration=1.0, seed=seed)
+        return [round(device.service_time("read", i, 1), 6) for i in range(20)], device.spikes
+
+    times_a, spikes_a = run(7)
+    times_b, spikes_b = run(7)
+    assert times_a == times_b
+    assert spikes_a == spikes_b > 0
+
+
+def test_jittery_zero_probability_matches_inner():
+    inner = SSD()
+    reference = SSD()
+    device = JitteryDevice(inner, spike_probability=0.0)
+    assert device.service_time("read", 0, 8) == reference.service_time("read", 0, 8)
+    assert device.spikes == 0
+
+
+def test_jittery_works_in_full_stack():
+    from repro import Environment, OS, KB
+    from repro.schedulers import Noop
+
+    env = Environment()
+    device = JitteryDevice(SSD(), spike_probability=0.3, spike_duration=0.05, seed=1)
+    machine = OS(env, device=device, scheduler=Noop(), memory_bytes=64 * MB)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    proc_handle = env.process(proc())
+    env.run(until=proc_handle)
+    assert device.stats.writes > 0

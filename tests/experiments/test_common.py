@@ -1,0 +1,55 @@
+"""Tests for the experiment plumbing helpers."""
+
+import pytest
+
+from repro.devices import HDD, SSD
+from repro.experiments.common import build_stack, drive, format_table, make_device, run_for
+from repro.fs.xfs import XFS
+from repro.schedulers import Noop
+from repro.units import MB
+
+
+def test_make_device_kinds():
+    assert isinstance(make_device("hdd"), HDD)
+    assert isinstance(make_device("ssd"), SSD)
+    with pytest.raises(ValueError):
+        make_device("nvme")
+
+
+def test_build_stack_defaults():
+    env, machine = build_stack(scheduler=Noop(), memory_bytes=64 * MB)
+    assert machine.fs.name == "ext4"
+    assert machine.cache.memory_bytes == 64 * MB
+
+
+def test_build_stack_with_fs_class():
+    env, machine = build_stack(scheduler=Noop(), fs_class=XFS, memory_bytes=64 * MB)
+    assert machine.fs.name == "xfs"
+    assert machine.fs.full_integration is False
+
+
+def test_build_stack_writeback_toggle():
+    env, machine = build_stack(scheduler=Noop(), writeback_enabled=False, memory_bytes=64 * MB)
+    assert not machine.writeback.enabled
+
+
+def test_drive_and_run_for():
+    env, machine = build_stack(scheduler=Noop(), memory_bytes=64 * MB)
+    task = machine.spawn("t")
+
+    def proc():
+        yield env.timeout(1.5)
+        return "done"
+
+    assert drive(env, proc()) == "done"
+    run_for(env, 2.0)
+    assert env.now == pytest.approx(3.5)
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "------" in lines[1]
+    assert lines[3].startswith("longer")

@@ -1,0 +1,100 @@
+"""Tests for experiment entry-point validation (cheap, no simulation)."""
+
+import pytest
+
+
+def test_fig11_rejects_unknown_panel_and_scheduler():
+    from repro.experiments import fig11_afq_priority
+
+    with pytest.raises(ValueError):
+        fig11_afq_priority.run("mystery", "afq")
+    with pytest.raises(ValueError):
+        fig11_afq_priority._make("bfq")
+
+
+def test_fig11_ideal_weights():
+    from repro.experiments.fig11_afq_priority import IDEAL
+
+    assert IDEAL[0] == 8 and IDEAL[7] == 1
+    assert sum(IDEAL.values()) == 36
+
+
+def test_fig01_rejects_unknown_scheduler():
+    from repro.experiments import fig01_write_burst
+
+    with pytest.raises(ValueError):
+        fig01_write_burst.run(scheduler="bfq", duration=1.0)
+
+
+def test_fig12_table3_settings_sane():
+    from repro.experiments.fig12_fsync_isolation import TABLE3
+
+    for device, settings in TABLE3.items():
+        # fsync deadlines exceed block deadlines: each fsync causes
+        # multiple block writes (the paper's Table 3 rationale).
+        assert settings["a_fsync"] > settings["block_write"]
+        assert settings["b_fsync"] > settings["a_fsync"]
+
+
+def test_fig12_rejects_unknown_scheduler():
+    from repro.experiments import fig12_fsync_isolation
+
+    with pytest.raises(ValueError):
+        fig12_fsync_isolation.run(scheduler="cfq", duration=1.0)
+
+
+def test_fig19_rejects_unknown_config():
+    from repro.experiments import fig19_postgres
+
+    with pytest.raises(ValueError):
+        fig19_postgres.run_config("split-magic", duration=1.0)
+
+
+def test_fig18_rejects_unknown_scheduler():
+    from repro.experiments import fig18_sqlite
+
+    with pytest.raises(ValueError):
+        fig18_sqlite.run_cell("noop", threshold=10, duration=1.0)
+
+
+def test_isolation_rejects_unknown_workload_and_scheduler():
+    from repro.experiments.isolation import _b_workload, make_scheduler
+
+    with pytest.raises(ValueError):
+        make_scheduler("cfq")
+    with pytest.raises(ValueError):
+        _b_workload(None, None, "read-backwards", 1.0, None, 0)
+
+
+def test_fig15_rejects_unknown_workload():
+    from repro.experiments.fig15_scalability import _b_thread
+
+    with pytest.raises(ValueError):
+        _b_thread(None, None, "sleep", 1.0)
+
+
+def test_fig20_rejects_unknown_guest_workload():
+    from repro.experiments.fig20_qemu import _guest_workload
+
+    class FakeVM:
+        guest = None
+
+    with pytest.raises(ValueError):
+        _guest_workload(FakeVM(), None, "read-backwards", 1.0, None)
+
+
+def test_isolation_six_workloads_list_matches_fig14():
+    from repro.experiments.isolation import SIX_WORKLOADS
+
+    assert len(SIX_WORKLOADS) == 6
+    assert {"read-mem", "write-mem"} <= set(SIX_WORKLOADS)
+
+
+def test_experiment_registry_is_complete():
+    from repro.experiments import EXPERIMENTS
+
+    # Every evaluation figure of the paper plus Table 1.
+    expected = {f"fig{n:02d}" for n in (1, 3, 5, 6, 9, 10, 11, 12, 13, 14,
+                                        15, 16, 17, 18, 19, 20, 21)}
+    expected.add("tab1")
+    assert expected <= set(EXPERIMENTS)

@@ -1,0 +1,44 @@
+"""Tests for the batch exporter."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_all, run_experiment
+
+
+def test_run_experiment_unknown_key():
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+def test_run_experiment_returns_payload():
+    payload = run_experiment("fig09", {"thread_counts": [1], "duration": 0.5})
+    assert payload["experiment"] == "fig09"
+    assert payload["wall_seconds"] >= 0
+    assert payload["result"]["threads"] == [1]
+
+
+def test_export_all_writes_json_and_report(tmp_path):
+    written = export_all(
+        tmp_path,
+        only=["fig09"],
+        overrides={"fig09": {"thread_counts": [1], "duration": 0.5}},
+        progress=lambda *_: None,
+    )
+    assert "fig09" in written
+    data = json.loads((tmp_path / "fig09.json").read_text())
+    assert data["title"].startswith("Figure 9")
+    report = (tmp_path / "REPORT.md").read_text()
+    assert "fig09" in report
+
+
+def test_export_all_records_failures(tmp_path):
+    written = export_all(
+        tmp_path,
+        only=["fig09"],
+        overrides={"fig09": {"no_such_kwarg": 1}},
+        progress=lambda *_: None,
+    )
+    assert written == {}
+    assert "FAILED" in (tmp_path / "REPORT.md").read_text()

@@ -1,0 +1,93 @@
+"""Property tests on filesystem invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Environment, OS, SSD, KB, MB
+from repro.schedulers import Noop
+from repro.units import PAGE_SIZE
+
+
+def build():
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    return env, machine
+
+
+operation = st.tuples(
+    st.sampled_from(["write", "read", "fsync", "truncate"]),
+    st.integers(min_value=0, max_value=255),   # page offset
+    st.integers(min_value=1, max_value=64),    # pages
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=30))
+def test_block_map_never_double_assigns(ops):
+    """No two file pages ever share a disk block."""
+    env, machine = build()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        inode = handle.inode
+        for kind, page, pages in ops:
+            offset, nbytes = page * PAGE_SIZE, pages * PAGE_SIZE
+            if kind == "write":
+                yield from handle.pwrite(offset, nbytes)
+            elif kind == "read":
+                yield from handle.pread(offset, nbytes)
+            elif kind == "fsync":
+                yield from handle.fsync()
+            elif kind == "truncate":
+                yield from machine.truncate(task, inode, offset)
+            blocks = list(inode.block_map.values())
+            assert len(blocks) == len(set(blocks)), "duplicate disk block"
+        return inode
+
+    p = env.process(proc())
+    env.run(until=p)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(operation, min_size=1, max_size=25))
+def test_fsync_always_leaves_file_clean(ops):
+    env, machine = build()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        for kind, page, pages in ops:
+            offset, nbytes = page * PAGE_SIZE, pages * PAGE_SIZE
+            if kind == "truncate":
+                yield from machine.truncate(task, handle.inode, offset)
+            elif kind == "read":
+                yield from handle.pread(offset, nbytes)
+            else:
+                yield from handle.pwrite(offset, nbytes)
+        yield from handle.fsync()
+        return machine.cache.dirty_bytes_of(handle.inode.id)
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=512 * KB), min_size=1, max_size=10)
+)
+def test_file_size_equals_sum_of_appends(sizes):
+    env, machine = build()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        for nbytes in sizes:
+            yield from handle.append(nbytes)
+        return handle.inode.size
+
+    p = env.process(proc())
+    env.run(until=p)
+    assert p.value == sum(sizes)

@@ -1,0 +1,87 @@
+"""Integration tests for nested (VM) stacks with guest-side schedulers."""
+
+import pytest
+
+from repro import Environment, OS, HDD, SSD, KB, MB
+from repro.apps.qemu import QemuVM
+from repro.schedulers import CFQ, Noop, SplitToken
+
+
+def test_guest_can_run_its_own_scheduler():
+    """A guest running CFQ inside a host running Split-Token."""
+    env = Environment()
+    host_sched = SplitToken()
+    host = OS(env, device=HDD(), scheduler=host_sched, memory_bytes=1024 * MB)
+    vm = QemuVM(host, image_bytes=128 * MB, guest_memory=64 * MB,
+                guest_scheduler=CFQ())
+    boot = env.process(vm.boot())
+    env.run(until=boot)
+    assert isinstance(vm.guest.elevator, CFQ)
+
+    high = vm.spawn("high", priority=0)
+    low = vm.spawn("low", priority=7)
+    done = []
+
+    def guest_io(task, path):
+        handle = yield from vm.guest.creat(task, path)
+        yield from handle.append(256 * KB)
+        yield from handle.fsync()
+        done.append(task.name)
+
+    env.process(guest_io(high, "/h"))
+    env.process(guest_io(low, "/l"))
+    env.run(until=env.now + 30.0)
+    assert len(done) == 2
+
+
+def test_two_vms_share_host_disk():
+    env = Environment()
+    host = OS(env, device=HDD(), scheduler=Noop(), memory_bytes=1024 * MB)
+    vm_a = QemuVM(host, name="a", image_bytes=64 * MB, guest_memory=32 * MB)
+    vm_b = QemuVM(host, name="b", image_bytes=64 * MB, guest_memory=32 * MB)
+
+    def setup():
+        yield from vm_a.boot()
+        yield from vm_b.boot()
+
+    proc = env.process(setup())
+    env.run(until=proc)
+
+    results = {}
+
+    def guest_writer(vm, key):
+        task = vm.spawn("w")
+        handle = yield from vm.guest.creat(task, "/data")
+        yield from handle.append(8 * MB)
+        yield from handle.fsync()
+        results[key] = env.now
+
+    env.process(guest_writer(vm_a, "a"))
+    env.process(guest_writer(vm_b, "b"))
+    env.run(until=env.now + 60.0)
+    assert set(results) == {"a", "b"}
+    # Both VMs' data physically reached the one host disk.
+    assert host.device.stats.bytes_written >= 16 * MB
+
+
+def test_guest_direct_io_does_not_pollute_host_cache():
+    env = Environment()
+    host = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=256 * MB)
+    vm = QemuVM(host, image_bytes=64 * MB, guest_memory=32 * MB)
+    boot = env.process(vm.boot())
+    env.run(until=boot)
+    host_pages_before = len(host.cache)
+
+    task = vm.spawn("reader")
+
+    def guest_read():
+        handle = yield from vm.guest.creat(task, "/data")
+        yield from handle.append(8 * MB)
+        yield from handle.fsync()
+        vm.guest.cache.free_file(handle.inode.id)
+        yield from handle.pread(0, 8 * MB)  # guest miss -> host O_DIRECT
+
+    proc = env.process(guest_read())
+    env.run(until=proc)
+    # Host cache did not grow with the VM's 8 MB of image traffic.
+    assert len(host.cache) <= host_pages_before + 4

@@ -1,0 +1,102 @@
+"""Tests for metric recorders and statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputTracker,
+    TimeSeries,
+    deviation_from_ideal,
+    percentile,
+)
+
+
+def test_percentile_basic():
+    data = [1, 2, 3, 4, 5]
+    assert percentile(data, 0) == 1
+    assert percentile(data, 50) == 3
+    assert percentile(data, 100) == 5
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+
+def test_percentile_validates():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+def test_percentile_bounded_by_min_max(data):
+    for p in (0, 25, 50, 75, 99, 100):
+        value = percentile(data, p)
+        assert min(data) <= value <= max(data)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100))
+def test_percentile_monotonic(data):
+    values = [percentile(data, p) for p in (10, 50, 90, 99)]
+    assert values == sorted(values)
+
+
+def test_deviation_zero_for_perfect_match():
+    ideal = {1: 8, 2: 4, 3: 2}
+    actual = {1: 80, 2: 40, 3: 20}  # same shares, different scale
+    assert deviation_from_ideal(actual, ideal) == pytest.approx(0)
+
+
+def test_deviation_for_flat_allocation():
+    """Equal shares against an 8..1 weighted ideal — the Figure 3 case."""
+    ideal = {p: 8 - p for p in range(8)}
+    actual = {p: 1.0 for p in range(8)}
+    deviation = deviation_from_ideal(actual, ideal)
+    assert 70 < deviation < 95  # the paper reports ~82% for CFQ
+
+
+def test_deviation_requires_same_keys():
+    with pytest.raises(ValueError):
+        deviation_from_ideal({1: 1}, {1: 1, 2: 1})
+
+
+def test_latency_recorder_stats():
+    recorder = LatencyRecorder("x")
+    for i, latency in enumerate([0.01, 0.02, 0.5]):
+        recorder.record(float(i), latency)
+    assert recorder.count == 3
+    assert recorder.mean() == pytest.approx(0.53 / 3)
+    assert recorder.max() == 0.5
+    assert recorder.over(0.1) == pytest.approx(1 / 3)
+
+
+def test_latency_recorder_empty():
+    recorder = LatencyRecorder()
+    assert recorder.over(1.0) == 0.0
+    with pytest.raises(ValueError):
+        recorder.mean()
+
+
+def test_throughput_tracker_rate():
+    tracker = ThroughputTracker()
+    tracker.start(10.0)
+    tracker.add(100, 11.0)
+    tracker.add(100, 20.0)
+    assert tracker.rate() == pytest.approx(200 / 10)
+    assert tracker.rate(until=30.0) == pytest.approx(200 / 20)
+
+
+def test_throughput_tracker_no_samples():
+    assert ThroughputTracker().rate() == 0.0
+
+
+def test_time_series_window_average():
+    series = TimeSeries()
+    for t in range(10):
+        series.record(float(t), float(t * 10))
+    assert series.window_average(0, 5) == pytest.approx(20)
+    assert series.window_average(100, 200) == 0.0
+    assert len(series) == 10

@@ -1,0 +1,141 @@
+"""Tests for the block tracer and iostat sampler."""
+
+import pytest
+
+from repro import Environment, OS, SSD, HDD, KB, MB
+from repro.metrics import BlockTracer, IOStat
+from repro.schedulers import Noop
+from repro.workloads import prefill_file, sequential_reader
+
+
+def make_os(device=None):
+    env = Environment()
+    machine = OS(env, device=device or SSD(), scheduler=Noop(), memory_bytes=256 * MB)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_tracer_records_completions():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    assert len(tracer) > 0
+    writes = [r for r in tracer.records if r.op == "write"]
+    assert writes
+    assert all(r.latency >= r.queue_wait >= 0 for r in tracer.records)
+
+
+def test_tracer_capacity_drops_extra():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue, capacity=1)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    assert len(tracer) == 1
+    assert tracer.dropped > 0
+
+
+def test_sequential_fraction_for_sequential_write():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    task = machine.spawn("t")
+
+    def proc():
+        yield from prefill_file(machine, task, "/f", 8 * MB)
+
+    drive(env, proc())
+    data = [r for r in tracer.records if not r.metadata]
+    assert tracer.sequential_fraction() >= 0.0
+    assert len(data) >= 1
+
+
+def test_bytes_by_cause_vs_submitter():
+    """The tracer shows the split-tag view AND the block-level view."""
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    app = machine.spawn("app")
+    from repro.block.request import BlockRequest, WRITE
+    from repro.core.tags import CauseSet
+
+    pdflush = machine.writeback.task
+
+    def proc():
+        request = BlockRequest(WRITE, 0, 4, pdflush, causes=CauseSet([app.pid]))
+        yield machine.block_queue.submit(request)
+
+    drive(env, proc())
+    assert tracer.bytes_by_cause() == {app.pid: 4 * 4 * KB}
+    assert tracer.bytes_by_submitter() == {"pdflush": 4 * 4 * KB}
+
+
+def test_amplification_counts_journal_overhead():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(4 * KB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    # One 4 KB data page + journal blocks: amplification > 1.
+    assert tracer.amplification(4 * KB) > 1.0
+    with pytest.raises(ValueError):
+        tracer.amplification(0)
+
+
+def test_mean_latency_filters_by_op():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(64 * KB)
+        yield from handle.fsync()
+        machine.cache.free_file(handle.inode.id)
+        yield from handle.pread(0, 64 * KB)
+
+    drive(env, proc())
+    assert tracer.mean_latency("read") > 0
+    with pytest.raises(ValueError):
+        tracer.mean_latency("erase")
+
+
+def test_iostat_measures_busy_device():
+    env, machine = make_os(device=HDD())
+    iostat = IOStat(machine.block_queue, interval=0.5)
+    task = machine.spawn("t")
+
+    def proc():
+        yield from prefill_file(machine, task, "/f", 32 * MB)
+        yield from sequential_reader(machine, task, "/f", 5.0, chunk=1 * MB, cold=True)
+
+    drive(env, proc())
+    assert iostat.mean_utilization(since=1.0) > 0.8  # disk-bound reader
+    assert all(0.0 <= u <= 1.0 for u in iostat.utilization)
+
+
+def test_iostat_idle_device_reads_zero():
+    env, machine = make_os()
+    iostat = IOStat(machine.block_queue, interval=0.5)
+    env.run(until=3.0)
+    assert iostat.mean_utilization() == 0.0

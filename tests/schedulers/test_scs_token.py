@@ -1,0 +1,126 @@
+"""Tests for SCS-Token: syscall-level throttling and its blind spots."""
+
+import pytest
+
+from repro import Environment, OS, SSD, HDD, KB, MB
+from repro.schedulers import SCSToken
+from repro.workloads import prefill_file
+
+
+def make_os(device=None):
+    env = Environment()
+    scheduler = SCSToken()
+    machine = OS(env, device=device or SSD(), scheduler=scheduler, memory_bytes=512 * MB)
+    return env, machine, scheduler
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_unthrottled_task_passes_free():
+    env, machine, scheduler = make_os()
+    task = machine.spawn("free")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        start = env.now
+        yield from handle.append(1 * MB)
+        return env.now - start
+
+    elapsed = drive(env, proc())
+    assert elapsed < 0.01  # only CPU cost, no token stalls
+
+
+def test_throttled_write_rate_enforced():
+    env, machine, scheduler = make_os()
+    task = machine.spawn("slow")
+    scheduler.set_limit(task, rate=1 * MB, cap=64 * KB)
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        start = env.now
+        total = 4 * MB
+        written = 0
+        while written < total:
+            written += yield from handle.append(64 * KB)
+        return total / (env.now - start)
+
+    rate = drive(env, proc())
+    assert rate == pytest.approx(1 * MB, rel=0.2)
+
+
+def test_cache_hit_reads_not_charged():
+    """The authors' concession: the FS tells SCS which reads hit."""
+    env, machine, scheduler = make_os()
+    task = machine.spawn("reader")
+    bucket = scheduler.set_limit(task, rate=1 * MB)
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)  # cached and dirty
+        charged_before = bucket.charged_total
+        yield from handle.pread(0, 1 * MB)
+        return bucket.charged_total - charged_before
+
+    charged = drive(env, proc())
+    assert charged == 0
+
+
+def test_buffer_overwrites_fully_charged():
+    """SCS's fatal flaw: overwrites cost full tokens despite no I/O."""
+    env, machine, scheduler = make_os()
+    task = machine.spawn("writer")
+    bucket = scheduler.set_limit(task, rate=1 * MB)
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.pwrite(0, 64 * KB)
+        before = bucket.charged_total
+        yield from handle.pwrite(0, 64 * KB)  # same bytes again
+        return bucket.charged_total - before
+
+    charged = drive(env, proc())
+    assert charged == 64 * KB  # billed as if it were new I/O
+
+
+def test_random_reads_undercharged():
+    """4 KB of random read costs 4 KB of tokens — far below true cost."""
+    env, machine, scheduler = make_os(device=HDD())
+    task = machine.spawn("seeker")
+    bucket = scheduler.set_limit(task, rate=10 * MB)
+    setup = machine.spawn("setup")
+
+    def proc():
+        yield from prefill_file(machine, setup, "/big", 16 * MB)
+        handle = yield from machine.open(task, "/big")
+        before = bucket.charged_total
+        start = env.now
+        yield from handle.pread(8 * MB, 4 * KB)  # a seek + 4 KB
+        elapsed = env.now - start
+        return bucket.charged_total - before, elapsed
+
+    charged, elapsed = drive(env, proc())
+    # Charged nominal bytes even though the disk spent ~10 ms.
+    assert charged == 4 * KB
+    true_cost_bytes = elapsed * 110 * MB  # sequential-equivalent
+    assert true_cost_bytes > 20 * charged
+
+
+def test_scs_hook_burns_cpu_per_call():
+    env, machine, scheduler = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(4 * KB)
+        busy_before = machine.cpu.busy_time
+        yield from handle.pread(0, 4 * KB)  # cache hit, still hooked
+        return machine.cpu.busy_time - busy_before
+
+    from repro.schedulers.scs import SCS_HOOK_CPU
+
+    cpu_used = drive(env, proc())
+    assert cpu_used >= SCS_HOOK_CPU

@@ -1,0 +1,117 @@
+"""Tests for the stride scheduler used by AFQ."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.proc import Task
+from repro.schedulers.stride import STRIDE1, StrideClient, StrideScheduler
+
+
+def test_client_requires_tickets():
+    with pytest.raises(ValueError):
+        StrideClient(1, 0)
+
+
+def test_stride_inversely_proportional_to_tickets():
+    few = StrideClient(1, 1)
+    many = StrideClient(2, 8)
+    assert few.stride == 8 * many.stride == STRIDE1
+
+
+def test_charge_advances_pass():
+    client = StrideClient(1, 4)
+    client.charge(100)
+    assert client.pass_value == pytest.approx(client.stride * 100)
+
+
+def test_tickets_follow_priority_weight():
+    sched = StrideScheduler()
+    high = sched.client(Task("high", priority=0))
+    low = sched.client(Task("low", priority=7))
+    assert high.tickets == 8
+    assert low.tickets == 1
+
+
+def test_idle_class_gets_single_ticket():
+    sched = StrideScheduler()
+    idle = sched.client(Task("idle", priority=0, idle_class=True))
+    assert idle.tickets == 1
+
+
+def test_client_is_cached_per_task():
+    sched = StrideScheduler()
+    task = Task("t")
+    assert sched.client(task) is sched.client(task)
+
+
+def test_min_pass_pid_selects_lowest():
+    sched = StrideScheduler()
+    a, b = Task("a"), Task("b")
+    sa, sb = sched.client(a), sched.client(b)
+    sa.charge(10)
+    assert sched.min_pass_pid([a.pid, b.pid]) == b.pid
+    sb.charge(100)
+    assert sched.min_pass_pid([a.pid, b.pid]) == a.pid
+
+
+def test_min_pass_pid_empty_returns_none():
+    assert StrideScheduler().min_pass_pid([]) is None
+
+
+def test_reenter_catches_up_to_floor():
+    """A task waking from idleness must not hoard old credit."""
+    sched = StrideScheduler()
+    sleeper, worker = Task("sleeper"), Task("worker")
+    sched.client(sleeper)
+    busy = sched.client(worker)
+    busy.charge(1000)
+    # With only these two, the floor is the sleeper's old pass (0); but
+    # once others advance, reentry snaps to the minimum.
+    state = sched.reenter(sleeper)
+    assert state.pass_value == sched.floor()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7), st.floats(min_value=0.1, max_value=100)),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_proportional_service_property(charges):
+    """Serving always-min-pass clients yields service ∝ tickets."""
+    sched = StrideScheduler()
+    tasks = [Task(f"t{p}", priority=p) for p in range(4)]
+    clients = [sched.client(t) for t in tasks]
+    service = {t.pid: 0.0 for t in tasks}
+    for _ in range(500):
+        pid = sched.min_pass_pid([t.pid for t in tasks])
+        client = sched.client_by_pid(pid)
+        client.charge(1.0)
+        service[pid] += 1.0
+    # Shares should be close to ticket shares.
+    total_tickets = sum(c.tickets for c in clients)
+    for client in clients:
+        expected = 500 * client.tickets / total_tickets
+        assert abs(service[client.pid] - expected) <= 5
+
+
+def test_floor_empty_scheduler_is_zero():
+    assert StrideScheduler().floor() == 0.0
+
+
+def test_min_pass_skips_unknown_pids():
+    sched = StrideScheduler()
+    task = Task("t")
+    sched.client(task)
+    assert sched.min_pass_pid([999999, task.pid]) == task.pid
+    assert sched.min_pass_pid([999999]) is None
+
+
+def test_client_by_pid_lookup():
+    sched = StrideScheduler()
+    task = Task("t")
+    state = sched.client(task)
+    assert sched.client_by_pid(task.pid) is state
+    assert sched.client_by_pid(424242) is None

@@ -1,0 +1,152 @@
+"""Tests for composite events (AllOf/AnyOf) and RNG streams."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, RandomStreams
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, "a")
+        t2 = env.timeout(5, "b")
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, result[t1], result[t2])
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5, "a", "b")
+
+
+def test_anyof_returns_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, "fast")
+        t2 = env.timeout(5, "slow")
+        result = yield AnyOf(env, [t1, t2])
+        assert t1 in result
+        assert t2 not in result
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 1
+
+
+def test_allof_empty_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        return (env.now, len(result))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (0, 0)
+
+
+def test_condition_value_mapping_protocol():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, "x")
+        result = yield AllOf(env, [t1])
+        assert len(result) == 1
+        assert list(result) == [t1]
+        assert result.todict() == {t1: "x"}
+        with pytest.raises(KeyError):
+            _ = result[env.event()]
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_condition_rejects_foreign_events():
+    env1 = Environment()
+    env2 = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env2.timeout(1)])
+
+
+def test_allof_propagates_failure():
+    env = Environment()
+
+    def proc(env):
+        good = env.timeout(1)
+        bad = env.event()
+        bad.fail(ValueError("bad"))
+        try:
+            yield AllOf(env, [good, bad])
+        except ValueError as exc:
+            return str(exc)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "bad"
+
+
+def test_random_streams_deterministic():
+    a = RandomStreams(seed=7).stream("disk").random()
+    b = RandomStreams(seed=7).stream("disk").random()
+    assert a == b
+
+
+def test_random_streams_independent_by_name():
+    streams = RandomStreams(seed=7)
+    assert streams["disk"].random() != streams["workload"].random()
+
+
+def test_random_streams_differ_by_seed():
+    a = RandomStreams(seed=1).stream("disk").random()
+    b = RandomStreams(seed=2).stream("disk").random()
+    assert a != b
+
+
+def test_random_stream_is_cached():
+    streams = RandomStreams()
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_event_or_operator_waits_for_first():
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1, "fast")
+        slow = env.timeout(9, "slow")
+        result = yield fast | slow
+        return (env.now, fast in result)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1, True)
+
+
+def test_event_and_operator_waits_for_both():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1)
+        b = env.timeout(5)
+        yield a & b
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5
+
+
+def test_operators_chain():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1)
+        b = env.timeout(2)
+        c = env.timeout(30)
+        yield (a & b) | c
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2

@@ -1,0 +1,200 @@
+"""Tests for processes: waiting, joining, interrupts, failures."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Process, ProcessDied
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        Process(env, lambda: None)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 42
+    assert not p.is_alive
+
+
+def test_process_join():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (env.now, result)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (5, "child-result")
+
+
+def test_process_exception_propagates_to_joiner():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise RuntimeError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except RuntimeError as exc:
+            return f"caught: {exc}"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "caught: child failed"
+
+
+def test_unhandled_process_exception_crashes_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise KeyError("oops")
+
+    env.process(proc(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+            return "slept"
+        except Interrupt as interrupt:
+            return ("interrupted", env.now, interrupt.cause)
+
+    def waker(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(waker(env, victim))
+    env.run()
+    assert victim.value == ("interrupted", 3, "wake up")
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(2)
+        return env.now
+
+    def waker(env, victim):
+        yield env.timeout(3)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(waker(env, victim))
+    env.run()
+    assert victim.value == 5
+
+
+def test_original_event_does_not_double_resume_after_interrupt():
+    env = Environment()
+    resumed = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+            resumed.append("timeout")
+        except Interrupt:
+            resumed.append("interrupt")
+        yield env.timeout(50)
+        resumed.append("second-sleep")
+
+    def waker(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(waker(env, victim))
+    env.run()
+    assert resumed == ["interrupt", "second-sleep"]
+    assert victim.value is None
+
+
+def test_interrupting_dead_process_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    env.run()
+    with pytest.raises(ProcessDied):
+        p.interrupt()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def proc(env):
+        with pytest.raises(RuntimeError):
+            env.active_process.interrupt()
+        yield env.timeout(0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_yield_non_event_raises_in_process():
+    env = Environment()
+
+    def proc(env):
+        yield 42  # type: ignore[misc]
+
+    env.process(proc(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+        seen.append(env.active_process)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p, p]
+    assert env.active_process is None
+
+
+def test_yield_already_processed_event_continues_immediately():
+    env = Environment()
+
+    def proc(env):
+        ev = env.event()
+        ev.succeed("early")
+        yield env.timeout(1)  # let the event be processed
+        value = yield ev  # already processed: no extra delay
+        return (env.now, value)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1, "early")

@@ -1,0 +1,55 @@
+"""Tests for the CPU model."""
+
+import pytest
+
+from repro.proc import Task
+from repro.sim import Environment
+from repro.syscall.cpu import COPY_BANDWIDTH, CPU, SYSCALL_OVERHEAD
+from repro.units import MB
+
+
+def test_cores_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CPU(env, cores=0)
+
+
+def test_syscall_cost_scales_with_bytes():
+    env = Environment()
+    cpu = CPU(env)
+    small = cpu.syscall_cost(0)
+    big = cpu.syscall_cost(1 * MB)
+    assert small == SYSCALL_OVERHEAD
+    assert big == pytest.approx(SYSCALL_OVERHEAD + 1 * MB / COPY_BANDWIDTH)
+
+
+def test_consume_zero_is_free():
+    env = Environment()
+    cpu = CPU(env, cores=1)
+    task = Task("t")
+
+    def proc():
+        yield from cpu.consume(task, 0.0)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 0.0
+    assert cpu.busy_time == 0.0
+
+
+def test_parallelism_up_to_core_count():
+    env = Environment()
+    cpu = CPU(env, cores=4)
+    finish = []
+
+    def burn(task):
+        yield from cpu.consume(task, 1.0)
+        finish.append(env.now)
+
+    for i in range(8):
+        env.process(burn(Task(f"t{i}")))
+    env.run()
+    # 8 jobs of 1 s on 4 cores: two waves.
+    assert finish == [1.0] * 4 + [2.0] * 4
+    assert cpu.busy_time == pytest.approx(8.0)

@@ -1,0 +1,105 @@
+"""Tests for the metadata system calls: mkdir, unlink, nested paths."""
+
+import pytest
+
+from repro import Environment, OS, SSD, KB, MB
+from repro.schedulers import Noop
+
+
+def make_os():
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_mkdir_then_create_inside():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/data")
+        handle = yield from machine.creat(task, "/data/file")
+        return handle.inode.path
+
+    assert drive(env, proc()) == "/data/file"
+
+
+def test_mkdir_marks_directory():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        inode = yield from machine.mkdir(task, "/d")
+        return inode.is_dir
+
+    assert drive(env, proc()) is True
+
+
+def test_unlink_missing_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        with pytest.raises(FileNotFoundError):
+            yield from machine.unlink(task, "/nope")
+        yield env.timeout(0)
+
+    drive(env, proc())
+
+
+def test_unlink_frees_disk_blocks_for_reuse():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(256 * KB)
+        yield from handle.fsync()
+        free_before = machine.fs.allocator.free_blocks
+        yield from machine.unlink(task, "/f")
+        return machine.fs.allocator.free_blocks - free_before
+
+    assert drive(env, proc()) == 64
+
+
+def test_metadata_calls_join_journal():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/d")
+        return machine.fs.journal.running.empty
+
+    assert drive(env, proc()) is False
+
+
+def test_metadata_calls_pass_through_scheduler_hooks():
+    from repro.core.hooks import SchedulerHooks
+
+    seen = []
+
+    class Spy(SchedulerHooks):
+        def syscall_entry(self, task, call, info):
+            seen.append(call)
+            return None
+
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Spy(), memory_bytes=64 * MB)
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/d")
+        handle = yield from machine.creat(task, "/d/f")
+        yield from handle.append(4 * KB)
+        yield from machine.truncate(task, handle.inode, 0)
+        yield from machine.unlink(task, "/d/f")
+
+    drive(env, proc())
+    for call in ("mkdir", "creat", "write", "truncate", "unlink"):
+        assert call in seen

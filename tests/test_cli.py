@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _jsonable, _parse_override, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in ("fig01", "fig13", "fig21", "tab1"):
+        assert key in out
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_with_overrides_emits_json(capsys):
+    code = main([
+        "run", "fig09",
+        "--set", "thread_counts=[1]",
+        "--set", "duration=0.5",
+    ])
+    assert code == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["threads"] == [1]
+    assert len(result["block_mbps"]) == 1
+
+
+def test_parse_override_json_and_string():
+    assert _parse_override("x=3") == ("x", 3)
+    assert _parse_override("x=[1,2]") == ("x", [1, 2])
+    assert _parse_override("x=hello") == ("x", "hello")
+    with pytest.raises(Exception):
+        _parse_override("novalue")
+
+
+def test_jsonable_handles_odd_values():
+    class Odd:
+        def __repr__(self):
+            return "<odd>"
+
+    out = _jsonable({"a": (1, 2.5), "b": Odd(), 3: None})
+    assert out == {"a": [1, 2.5], "b": "<odd>", "3": None}
+
+
+def test_export_subcommand(tmp_path, capsys, monkeypatch):
+    # Point the exporter at a tiny fake experiment to keep this fast.
+    import repro.experiments.export as export_mod
+
+    monkeypatch.setitem(
+        export_mod.EXPERIMENTS, "figtest",
+        ("repro.experiments.fig09_time_overhead", "Figure T: test"),
+    )
+    monkeypatch.setattr(
+        export_mod, "run_experiment",
+        lambda key, overrides=None: {
+            "experiment": key, "title": "Figure T", "wall_seconds": 0.0,
+            "result": {"ok": True},
+        },
+    )
+    code = main(["export", str(tmp_path), "--only", "figtest"])
+    assert code == 0
+    assert (tmp_path / "figtest.json").exists()
+    assert "figtest" in (tmp_path / "REPORT.md").read_text()

@@ -1,0 +1,53 @@
+"""Tests for tasks and the process table."""
+
+import pytest
+
+from repro.proc import DEFAULT_PRIORITY, ProcessTable, Task
+
+
+def test_task_gets_unique_pid():
+    a, b = Task("a"), Task("b")
+    assert a.pid != b.pid
+
+
+def test_task_default_priority_is_four():
+    assert Task("t").priority == DEFAULT_PRIORITY == 4
+
+
+def test_task_priority_validated():
+    with pytest.raises(ValueError):
+        Task("t", priority=8)
+    with pytest.raises(ValueError):
+        Task("t", priority=-1)
+
+
+def test_idle_class_flag():
+    assert Task("t", idle_class=True).idle_class
+    assert not Task("t").idle_class
+
+
+def test_process_table_spawn_and_get():
+    table = ProcessTable()
+    task = table.spawn("worker", priority=2)
+    assert table.get(task.pid) is task
+    assert task.priority == 2
+    assert len(table) == 1
+
+
+def test_process_table_get_missing_returns_none():
+    assert ProcessTable().get(999999) is None
+
+
+def test_process_table_iterates_tasks():
+    table = ProcessTable()
+    names = {"a", "b", "c"}
+    for name in names:
+        table.spawn(name)
+    assert {task.name for task in table} == names
+
+
+def test_kernel_flag_marks_helper_tasks():
+    table = ProcessTable()
+    pdflush = table.spawn("pdflush", kernel=True)
+    assert pdflush.kernel
+    assert not table.spawn("app").kernel

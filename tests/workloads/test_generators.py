@@ -1,0 +1,165 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro import Environment, OS, SSD, KB, MB, PAGE_SIZE
+from repro.metrics import LatencyRecorder, ThroughputTracker
+from repro.schedulers import Noop
+from repro.workloads import (
+    fsync_appender,
+    prefill_file,
+    random_write_burst,
+    random_writer_fsync,
+    run_pattern_reader,
+    sequential_overwriter,
+    sequential_reader,
+    sequential_writer,
+    spin_loop,
+)
+
+
+def make_os(**kwargs):
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(),
+                 memory_bytes=kwargs.pop("memory_bytes", 256 * MB), **kwargs)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_prefill_creates_flushed_cold_file():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    handle = drive(env, prefill_file(machine, task, "/f", 8 * MB))
+    assert handle.inode.size == 8 * MB
+    assert machine.cache.dirty_bytes_of(handle.inode.id) == 0
+    assert not machine.cache.contains(  # dropped: readers start cold
+        __import__("repro.cache.page", fromlist=["PageKey"]).PageKey(handle.inode.id, 0)
+    )
+
+
+def test_prefill_keep_cached():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    handle = drive(env, prefill_file(machine, task, "/f", 1 * MB, drop=False))
+    from repro.cache.page import PageKey
+
+    assert machine.cache.contains(PageKey(handle.inode.id, 0))
+
+
+def test_sequential_reader_counts_bytes():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    drive(env, prefill_file(machine, task, "/f", 4 * MB, drop=False))
+    tracker = ThroughputTracker()
+    total = drive(env, sequential_reader(machine, task, "/f", 0.5, chunk=256 * KB, tracker=tracker))
+    assert total == tracker.bytes_total > 0
+
+
+def test_sequential_reader_cold_mode_hits_disk():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    drive(env, prefill_file(machine, task, "/f", 2 * MB))
+    reads_before = machine.device.stats.reads
+    drive(env, sequential_reader(machine, task, "/f", 0.2, chunk=256 * KB, cold=True))
+    assert machine.device.stats.reads > reads_before
+
+
+def test_sequential_writer_grows_file():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    total = drive(env, sequential_writer(machine, task, "/w", 0.1, chunk=64 * KB))
+    assert total > 0
+    assert machine.fs.lookup("/w").size == total
+
+
+def test_overwriter_stays_within_region():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    drive(env, sequential_overwriter(machine, task, "/o", 0.1, region=1 * MB, chunk=64 * KB))
+    assert machine.fs.lookup("/o").size == 1 * MB  # never grows past region
+
+
+def test_fsync_appender_records_latencies():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    recorder = LatencyRecorder()
+    count = drive(env, fsync_appender(machine, task, "/log", 0.5, recorder=recorder))
+    assert count == recorder.count > 0
+
+
+def test_random_write_burst_dirties_exact_total():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    written = drive(env, random_write_burst(machine, task, "/v", 1 * MB, file_size=8 * MB))
+    assert written == 1 * MB
+
+
+def test_random_writer_fsync_durable_each_iteration():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    tracker = ThroughputTracker()
+    drive(env, random_writer_fsync(machine, task, "/rw", 0.3, file_size=4 * MB, tracker=tracker))
+    assert tracker.bytes_total > 0
+    assert machine.fs.fsyncs > 1
+
+
+def test_run_pattern_reader_respects_duration():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    drive(env, prefill_file(machine, task, "/f", 8 * MB))
+    start = env.now
+    drive(env, run_pattern_reader(machine, task, "/f", 256 * KB, 0.5))
+    assert env.now - start == pytest.approx(0.5, abs=0.1)
+
+
+def test_spin_loop_consumes_cpu_only():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    io_before = machine.device.stats.total_requests
+    drive(env, spin_loop(machine, task, 0.25))
+    assert machine.cpu.busy_time >= 0.2
+    assert machine.device.stats.total_requests == io_before
+
+
+def test_prefill_region_extends_and_flushes():
+    from repro.workloads.generators import prefill_region
+
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(64 * KB)
+        yield from prefill_region(machine, handle, 1 * MB)
+        return handle.inode.size, machine.cache.dirty_bytes_of(handle.inode.id)
+
+    size, dirty = drive(env, proc())
+    assert size == 1 * MB
+    assert dirty == 0
+
+
+def test_run_pattern_writer_stays_in_file():
+    from repro.workloads import run_pattern_writer
+
+    env, machine = make_os()
+    task = machine.spawn("t")
+    drive(env, prefill_file(machine, task, "/f", 4 * MB))
+    size_before = machine.fs.lookup("/f").size
+    drive(env, run_pattern_writer(machine, task, "/f", 256 * KB, 0.3))
+    # Overwrites of an existing file never grow it beyond one run.
+    assert machine.fs.lookup("/f").size <= size_before + 256 * KB + PAGE_SIZE
+
+
+def test_fsync_appender_think_time_paces():
+    env, machine = make_os()
+    task = machine.spawn("t")
+    fast = drive(env, fsync_appender(machine, task, "/a", 0.5, recorder=None, think=0.0))
+    env2, machine2 = make_os()
+    task2 = machine2.spawn("t")
+    slow = drive(env2, fsync_appender(machine2, task2, "/a", 0.5, recorder=None, think=0.05))
+    assert slow < fast

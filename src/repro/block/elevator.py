@@ -43,6 +43,16 @@ class BlockScheduler:
     def request_completed(self, request: "BlockRequest") -> None:
         """The device finished *request*."""
 
+    def request_failed(self, request: "BlockRequest") -> None:
+        """*request* failed permanently (retries exhausted).
+
+        The default falls through to :meth:`request_completed` so cost
+        accounting (e.g. token charges revised at completion) still
+        settles; schedulers with richer policies may requeue or drop
+        instead.
+        """
+        self.request_completed(request)
+
     def has_work(self) -> bool:
         """Whether any request is queued (dispatchable or not)."""
         raise NotImplementedError

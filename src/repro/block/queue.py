@@ -5,6 +5,16 @@ serves them on the device, one at a time (the device is the contended
 resource).  Completion triggers the request's ``done`` event, cleans the
 pages a write carried, performs per-cause byte accounting, and informs
 the scheduler.
+
+Failure handling mirrors the kernel block layer: a retryable
+:class:`~repro.devices.base.DeviceError` from the device model is
+retried with exponential backoff; an attempt whose service time exceeds
+the per-request timeout is aborted and retried; and once retries are
+exhausted the request completes *failed* — its pages are re-dirtied
+instead of cleaned, the scheduler is told via ``request_failed``, and
+waiters observe ``request.failed`` (the filesystem turns that into
+``EIO`` at the syscall layer).  The ``done`` event always succeeds so
+kernel daemons survive I/O errors.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.block.request import BlockRequest
+from repro.devices.base import DeviceError
 from repro.units import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -19,6 +30,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.devices.base import Device
     from repro.proc import ProcessTable
     from repro.sim.core import Environment
+
+
+class RequestTimeout(DeviceError):
+    """An attempt exceeded the block layer's per-request timeout."""
+
+    retryable = True
 
 
 class BlockQueue:
@@ -30,19 +47,35 @@ class BlockQueue:
         device: "Device",
         scheduler: "BlockScheduler",
         process_table: Optional["ProcessTable"] = None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.01,
+        request_timeout: Optional[float] = 30.0,
     ):
         self.env = env
         self.device = device
         self.scheduler = scheduler
         self.process_table = process_table
+        #: Attempts after the first before a request fails permanently.
+        self.max_retries = max_retries
+        #: First backoff delay; doubles per retry (exponential).
+        self.retry_backoff = retry_backoff
+        #: Abort an attempt whose service time exceeds this (None = off).
+        self.request_timeout = request_timeout
         scheduler.attach(self)
         self._kick_event = env.event()
+        self._kick_pending = False
         self._dispatcher = env.process(self._dispatch_loop(), name="block-dispatcher")
-        #: Observers called with each completed request (metrics etc.).
+        #: Observers called with each completed request (metrics etc.),
+        #: including permanently-failed ones (check ``request.failed``).
         self.completion_listeners: List[Callable[[BlockRequest], None]] = []
         self.in_flight: Optional[BlockRequest] = None
         self.submitted = 0
         self.completed = 0
+        # Failure counters.
+        self.errors = 0  # device errors observed (per attempt)
+        self.retries = 0  # retry attempts issued
+        self.timeouts = 0  # attempts aborted by the request timeout
+        self.failed = 0  # requests failed permanently
 
     def submit(self, request: BlockRequest):
         """Enter *request* into the block layer; returns its done event."""
@@ -55,40 +88,99 @@ class BlockQueue:
 
     def kick(self) -> None:
         """Wake the dispatcher (new request, or scheduler became willing)."""
+        self._kick_pending = True
         if not self._kick_event.triggered:
             self._kick_event.succeed()
 
     def _dispatch_loop(self):
         while True:
+            # Consume any pending kick *before* polling, so a kick that
+            # arrives during next_request() (or between a None poll and
+            # the event swap below) re-polls instead of being dropped.
+            self._kick_pending = False
             request = self.scheduler.next_request()
             if request is None:
+                if self._kick_pending:
+                    continue  # a kick raced in while the scheduler was polled
                 self._kick_event = self.env.event()
-                # Let the scheduler schedule a future kick (deadline
-                # timers etc.) by also polling if it still holds work.
+                if self._kick_pending:
+                    continue  # a kick hit the stale event: re-poll, don't sleep
                 yield self._kick_event
                 continue
 
             request.dispatch_time = self.env.now
             self.in_flight = request
-            serve = getattr(self.device, "serve", None)
-            if serve is not None:
-                # Asynchronous device (e.g. a VM disk backed by a host
-                # file): service time emerges from the backing stack.
-                yield from serve(request)
-            else:
-                duration = self.device.service_time(request.op, request.block, request.nblocks)
-                yield self.env.timeout(duration)
+            yield from self._serve(request)
             self.in_flight = None
             request.complete_time = self.env.now
-            self.completed += 1
-            self._account(request)
-            for page in request.pages:
-                page.write_completed()
-            self.scheduler.request_completed(request)
+
+            if request.failed:
+                self.failed += 1
+                # Failed writes re-dirty their pages: the data never
+                # reached the device, so the cache must keep it dirty
+                # for a later flush attempt.
+                for page in request.pages:
+                    page.write_failed()
+                self.scheduler.request_failed(request)
+            else:
+                self.completed += 1
+                self._account(request)
+                for page in request.pages:
+                    page.write_completed()
+                self.scheduler.request_completed(request)
             for listener in self.completion_listeners:
                 listener(request)
             if not request.done.triggered:
                 request.done.succeed(request)
+
+    def _serve(self, request: BlockRequest):
+        """Generator: serve one request, retrying transient failures."""
+        serve = getattr(self.device, "serve", None)
+        if serve is not None:
+            # Asynchronous device (e.g. a VM disk backed by a host
+            # file): service time emerges from the backing stack.
+            request.attempts = 1
+            yield from serve(request)
+            return
+
+        attempt = 0
+        while True:
+            attempt += 1
+            request.attempts = attempt
+            error: Optional[DeviceError] = None
+            try:
+                duration = self.device.service_time(
+                    request.op, request.block, request.nblocks
+                )
+            except DeviceError as exc:
+                if not exc.retryable:
+                    raise  # malformed request: a bug, not a device fault
+                error = exc
+                self.errors += 1
+                if exc.latency > 0:
+                    yield self.env.timeout(exc.latency)
+            else:
+                if self.request_timeout is not None and duration > self.request_timeout:
+                    # The device stalled: the timeout fires and the
+                    # attempt is abandoned after request_timeout seconds.
+                    self.timeouts += 1
+                    error = RequestTimeout(
+                        f"request #{request.id} timed out after "
+                        f"{self.request_timeout}s (service wanted {duration:.3f}s)"
+                    )
+                    yield self.env.timeout(self.request_timeout)
+                else:
+                    yield self.env.timeout(duration)
+                    return
+
+            if attempt > self.max_retries:
+                request.failed = True
+                request.error = error
+                return
+            self.retries += 1
+            backoff = self.retry_backoff * (2 ** (attempt - 1))
+            if backoff > 0:
+                yield self.env.timeout(backoff)
 
     def _account(self, request: BlockRequest) -> None:
         """Charge completed bytes to the true causes, split evenly."""

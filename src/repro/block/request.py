@@ -60,10 +60,19 @@ class BlockRequest:
         self.submit_time: Optional[float] = None
         self.dispatch_time: Optional[float] = None
         self.complete_time: Optional[float] = None
-        #: Triggered when the device finishes the request.
+        #: Triggered when the device finishes the request.  The event
+        #: *succeeds* with the request even on failure — waiters must
+        #: check :attr:`failed` — so kernel daemons are never killed by
+        #: an I/O error they should merely count.
         self.done: Optional["Event"] = None
         #: Per-request deadline (absolute time), used by deadline schedulers.
         self.deadline: Optional[float] = None
+        #: Device attempts made (1 on a clean first service).
+        self.attempts = 0
+        #: Permanently failed: the block layer exhausted its retries.
+        self.failed = False
+        #: The final device error when :attr:`failed` (None otherwise).
+        self.error: Optional[BaseException] = None
 
     @property
     def nbytes(self) -> int:
@@ -80,6 +89,11 @@ class BlockRequest:
     @property
     def is_write(self) -> bool:
         return self.op == WRITE
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` or ``"failed"`` (meaningful once completed)."""
+        return "failed" if self.failed else "ok"
 
     @property
     def latency(self) -> Optional[float]:

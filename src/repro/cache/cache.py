@@ -199,6 +199,22 @@ class PageCache:
             if not index:
                 del self._dirty_by_inode[key.inode_id]
 
+    def drop_volatile(self) -> int:
+        """Simulate power loss: every cached page vanishes, no hooks.
+
+        DRAM contents are gone, so dirty pages are lost *without*
+        firing buffer-free hooks or releasing tags — there is no
+        orderly teardown in a crash.  Returns the number of pages
+        dropped.  Only meaningful on a halted environment.
+        """
+        count = len(self._pages)
+        self._pages.clear()
+        self._clean_lru.clear()
+        self._dirty.clear()
+        self._dirty_by_inode.clear()
+        self.dirty_bytes = 0
+        return count
+
     def free_file(self, inode_id: int) -> int:
         """Drop every cached page of a file; returns count freed."""
         keys = [key for key in self._pages if key.inode_id == inode_id]

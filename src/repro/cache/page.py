@@ -74,6 +74,16 @@ class Page:
         if self.dirty:
             self.cache.page_cleaned(self)
 
+    def write_failed(self) -> None:
+        """The page's writeback I/O failed permanently.
+
+        The data never reached the device, so the page stays dirty
+        (re-dirtied, in kernel terms) and becomes eligible for a later
+        flush attempt instead of being cleaned.
+        """
+        self.under_writeback = False
+        self.redirtied = False
+
     def __repr__(self) -> str:
         state = "dirty" if self.dirty else "clean"
         if self.under_writeback:

@@ -71,6 +71,9 @@ class WritebackDaemon:
         self._flush_target: float = float("inf")
         self.flushes = 0
         self.pages_flushed = 0
+        #: Write requests that failed permanently (their pages were
+        #: re-dirtied by the block layer and will be retried later).
+        self.write_errors = 0
         if enabled:
             env.process(self._run(), name="pdflush")
 
@@ -179,4 +182,9 @@ class WritebackDaemon:
 
         if done_events:
             yield AllOf(self.env, done_events)
+            # A kernel flusher survives I/O errors: failed pages are
+            # already re-dirtied, so just count and move on.
+            for event in done_events:
+                if getattr(event.value, "failed", False):
+                    self.write_errors += 1
         self._wake_throttled()

@@ -49,6 +49,22 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _build_fault_plan(args):
+    """A FaultPlan from the --fault-* flags, or None if all defaults."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(
+        read_error_prob=args.fault_read_error_prob,
+        write_error_prob=args.fault_write_error_prob,
+        error_latency=args.fault_error_latency,
+        slow_factor=args.fault_slow_factor,
+        stall_prob=args.fault_stall_prob,
+        stall_duration=args.fault_stall_duration,
+        power_loss_at=args.fault_power_loss_at,
+    )
+    return None if plan.empty else plan
+
+
 def cmd_run(args) -> int:
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
@@ -59,9 +75,29 @@ def cmd_run(args) -> int:
     module = importlib.import_module(module_name)
     overrides: Dict[str, Any] = dict(args.overrides or [])
 
+    plan = _build_fault_plan(args)
+    if plan is not None:
+        from repro.experiments import common
+
+        common.set_default_fault_plan(plan, seed=args.fault_seed)
+
     runner = getattr(module, "run_comparison", None) or module.run
     print(f"# {title}", file=sys.stderr)
-    result = runner(**overrides)
+    try:
+        result = runner(**overrides)
+        if plan is not None:
+            from repro.experiments import common
+
+            faults = common.drain_fault_summaries()
+            if isinstance(result, dict):
+                result = dict(result, _faults=faults)
+            else:
+                result = {"result": result, "_faults": faults}
+    finally:
+        if plan is not None:
+            from repro.experiments import common
+
+            common.clear_default_fault_plan()
     json.dump(_jsonable(result), sys.stdout, indent=2)
     print()
     return 0
@@ -86,6 +122,27 @@ def main(argv=None) -> int:
         metavar="KEY=VALUE",
         help="override a run() keyword (JSON-parsed; repeatable)",
     )
+    faults = run_parser.add_argument_group(
+        "fault injection",
+        "inject device faults during the run (default: none; results gain "
+        "a _faults section with injector and retry statistics)",
+    )
+    faults.add_argument("--fault-read-error-prob", type=float, default=0.0,
+                        metavar="P", help="per-read transient error probability")
+    faults.add_argument("--fault-write-error-prob", type=float, default=0.0,
+                        metavar="P", help="per-write transient error probability")
+    faults.add_argument("--fault-error-latency", type=float, default=0.005,
+                        metavar="SEC", help="device time consumed by a failed attempt")
+    faults.add_argument("--fault-slow-factor", type=float, default=1.0,
+                        metavar="X", help="multiply all service times (slow disk)")
+    faults.add_argument("--fault-stall-prob", type=float, default=0.0,
+                        metavar="P", help="per-op probability of a long stall")
+    faults.add_argument("--fault-stall-duration", type=float, default=60.0,
+                        metavar="SEC", help="length of an injected stall")
+    faults.add_argument("--fault-power-loss-at", type=float, default=None,
+                        metavar="SEC", help="cut power at this simulated time")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        metavar="N", help="seed for the fault RNG stream")
     run_parser.set_defaults(func=cmd_run)
 
     export_parser = sub.add_parser("export", help="run experiments, write JSON + report")

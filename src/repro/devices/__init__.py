@@ -6,9 +6,9 @@ deterministic expected service times from simple mechanical/electrical
 parameters rather than replaying measured traces.
 """
 
-from repro.devices.base import Device, DeviceStats
+from repro.devices.base import Device, DeviceError, DeviceStats
 from repro.devices.hdd import HDD
 from repro.devices.ssd import SSD
 from repro.devices.composite import JitteryDevice, RAID0
 
-__all__ = ["Device", "DeviceStats", "HDD", "JitteryDevice", "RAID0", "SSD"]
+__all__ = ["Device", "DeviceError", "DeviceStats", "HDD", "JitteryDevice", "RAID0", "SSD"]

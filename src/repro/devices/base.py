@@ -7,6 +7,23 @@ from typing import Optional
 from repro.units import PAGE_SIZE
 
 
+class DeviceError(Exception):
+    """A device-level failure.
+
+    Raised for malformed requests (bad bounds) and by fault-injecting
+    device models for media errors.  ``retryable`` tells the block
+    layer whether a retry could succeed (a media error might clear; a
+    bounds violation never will), and ``latency`` is the time the
+    failed attempt occupied the device before the error was reported.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, latency: float = 0.0):
+        super().__init__(message)
+        self.latency = latency
+
+
 class DeviceStats:
     """Aggregate counters maintained by every device model."""
 
@@ -74,10 +91,16 @@ class Device:
         self.stats.busy_time += duration
 
     def _check_bounds(self, block: int, nblocks: int) -> None:
+        """Reject malformed requests.
+
+        Must be called before *any* accounting or head-position state is
+        touched, so a rejected request leaves the device model exactly as
+        it was (callers may catch :class:`DeviceError` and continue).
+        """
         if nblocks <= 0:
-            raise ValueError(f"request of {nblocks} blocks")
+            raise DeviceError(f"request of {nblocks} blocks")
         if block < 0 or block + nblocks > self.capacity_blocks:
-            raise ValueError(
+            raise DeviceError(
                 f"request [{block}, {block + nblocks}) outside device "
                 f"of {self.capacity_blocks} blocks"
             )

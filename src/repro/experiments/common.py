@@ -9,6 +9,40 @@ from repro.sim import Environment
 from repro.syscall.os import OS
 from repro.units import GB, MB
 
+#: Session-wide fault configuration: (FaultPlan, seed) or None.  Set by
+#: the CLI's --fault-* flags; when None, build_stack produces exactly
+#: the stack it always did (zero-cost default).
+_default_fault_plan = None
+#: BlockQueues built while a fault plan was active (for reporting).
+_fault_queues: List = []
+
+
+def set_default_fault_plan(plan, seed: int = 0) -> None:
+    """Install *plan* for every stack built until cleared.
+
+    Every subsequent :func:`build_stack` wraps its device in a
+    :class:`~repro.faults.FaultyDevice` driven by an injector seeded
+    from *seed*, and arms the plan's power loss (if any).
+    """
+    global _default_fault_plan
+    _default_fault_plan = (plan, seed) if plan is not None and not plan.empty else None
+
+
+def clear_default_fault_plan() -> None:
+    """Remove the session fault plan and forget tracked queues."""
+    global _default_fault_plan
+    _default_fault_plan = None
+    _fault_queues.clear()
+
+
+def drain_fault_summaries() -> List[Dict]:
+    """Fault statistics of every faulty stack built so far (and reset)."""
+    from repro.metrics.recorders import fault_summary
+
+    summaries = [fault_summary(queue) for queue in _fault_queues]
+    _fault_queues.clear()
+    return summaries
+
 
 def make_device(kind: str):
     """Device factory: 'hdd' or 'ssd'."""
@@ -34,10 +68,25 @@ def build_stack(
     16 GB testbed: the simulated workloads are scaled down in the same
     proportion, keeping the dirty-ratio and cache dynamics equivalent
     while the simulation stays fast.
+
+    If a session fault plan is installed (see
+    :func:`set_default_fault_plan`), the device is wrapped in a
+    fault-injecting proxy; otherwise the stack is byte-identical to the
+    fault-free one.
     """
     env = Environment()
+    dev = make_device(device)
+    injector = None
+    if _default_fault_plan is not None:
+        from repro.faults import FaultInjector, FaultyDevice
+        from repro.sim.rand import RandomStreams
+
+        plan, seed = _default_fault_plan
+        streams = RandomStreams(seed)
+        injector = FaultInjector(env, plan, streams, stream_name=f"faults.{dev.name}")
+        dev = FaultyDevice(dev, injector)
     kwargs = dict(
-        device=make_device(device),
+        device=dev,
         scheduler=scheduler,
         memory_bytes=memory_bytes,
         cores=cores,
@@ -47,6 +96,9 @@ def build_stack(
     if fs_class is not None:
         kwargs["fs_class"] = fs_class
     machine = OS(env, **kwargs)
+    if injector is not None:
+        injector.arm_power_loss()
+        _fault_queues.append(machine.block_queue)
     return env, machine
 
 

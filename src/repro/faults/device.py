@@ -1,0 +1,40 @@
+"""A fault-injecting device wrapper, composable with any device model.
+
+``FaultyDevice(HDD(), injector)`` behaves exactly like the wrapped
+device until the injector says otherwise: injected media errors raise
+:class:`~repro.faults.errors.MediumError` (which the block layer
+retries with backoff), degradation multiplies the inner service time,
+and stalls add a large latency that trips the block layer's per-request
+timeout.  With an empty plan the wrapper is behaviour-neutral — service
+times are bit-identical to the inner device's.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import Device
+from repro.faults.errors import MediumError
+from repro.faults.injector import FaultInjector
+
+
+class FaultyDevice(Device):
+    """Wraps any :class:`Device`, injecting faults per its plan."""
+
+    def __init__(self, inner: Device, injector: FaultInjector, name: str = None):
+        super().__init__(capacity_blocks=inner.capacity_blocks,
+                         name=name or f"faulty-{inner.name}")
+        self.inner = inner
+        self.injector = injector
+
+    def service_time(self, op: str, block: int, nblocks: int) -> float:
+        self._check_bounds(block, nblocks)
+        decision = self.injector.decide(op, block, nblocks)
+        if decision.error:
+            raise MediumError(
+                f"injected {op} error on {self.name} at block {block}",
+                latency=self.injector.plan.error_latency,
+            )
+        duration = self.inner.service_time(op, block, nblocks)
+        duration = duration * decision.slow_factor + decision.extra_latency
+        self._last_block_end = block + nblocks
+        self._account(op, nblocks, duration)
+        return duration

@@ -1,0 +1,50 @@
+"""Exception types for injected faults and their syscall-level surface.
+
+Layering: :class:`~repro.devices.base.DeviceError` is the device-level
+base (defined with the devices so the block layer need not import this
+package); :class:`MediumError` is the injected, retryable flavour; and
+:class:`EIO` is what ultimately reaches workload tasks through the
+syscall API once the block layer has exhausted its retries — the
+simulation's ``errno == EIO``.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Any
+
+from repro.devices.base import DeviceError
+from repro.sim.core import StopSimulation
+
+
+class MediumError(DeviceError):
+    """A transient media failure injected by a fault plan.
+
+    Retryable: the block layer backs off and re-issues the request; a
+    persistent fault keeps failing every attempt until retries exhaust.
+    """
+
+    retryable = True
+
+
+class EIO(OSError):
+    """An I/O error surfaced to the application through a syscall.
+
+    Carries POSIX ``errno.EIO`` so workloads can treat the simulated
+    stack like the real one.
+    """
+
+    def __init__(self, detail: Any = None):
+        message = "I/O error" if detail is None else f"I/O error: {detail}"
+        super().__init__(errno.EIO, message)
+        self.detail = detail
+
+
+class PowerLoss(StopSimulation):
+    """Power was cut: the simulation halts at the instant of the cut.
+
+    Subclasses :class:`~repro.sim.core.StopSimulation`, so
+    ``Environment.run`` returns normally (with the crash time as its
+    value) instead of crashing the harness; the environment is left
+    halted and a recovery pass can inspect the wreckage.
+    """

@@ -1,0 +1,140 @@
+"""The fault injector: turns a declarative plan into per-op decisions.
+
+One injector serves one device.  All randomness comes from a named
+:class:`~repro.sim.rand.RandomStreams` stream (``faults.<device>`` by
+default), so fault sequences are seed-reproducible and adding an
+injector never perturbs the draws seen by workloads or other
+subsystems.  RNG draws happen *only* for fault modes with a non-zero
+probability, keeping an inert plan truly inert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional
+
+from repro.faults.errors import PowerLoss
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+    from repro.sim.rand import RandomStreams
+
+
+class FaultDecision(NamedTuple):
+    """The injector's verdict for one device operation."""
+
+    #: Fail this op with a (retryable) medium error.
+    error: bool
+    #: Multiply the op's service time by this factor (>= 1).
+    slow_factor: float
+    #: Add this much latency (an injected stall; 0 normally).
+    extra_latency: float
+
+    @property
+    def clean(self) -> bool:
+        """True when the op proceeds untouched."""
+        return not self.error and self.slow_factor == 1.0 and self.extra_latency == 0.0
+
+
+#: The no-fault decision, shared to avoid allocation on the hot path.
+CLEAN = FaultDecision(error=False, slow_factor=1.0, extra_latency=0.0)
+
+
+class FaultInjector:
+    """Draws fault decisions for one device from a seeded stream."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        plan: FaultPlan,
+        streams: "RandomStreams",
+        stream_name: str = "faults",
+    ):
+        self.env = env
+        self.plan = plan
+        self.stream_name = stream_name
+        self._rng = streams.stream(stream_name)
+        # Counters (exposed via summary()).
+        self.injected_read_errors = 0
+        self.injected_write_errors = 0
+        self.window_errors = 0
+        self.injected_stalls = 0
+        self.slowed_ops = 0
+        self.power_lost_at: Optional[float] = None
+
+    def decide(self, op: str, block: int, nblocks: int) -> FaultDecision:
+        """The fate of one device operation happening now."""
+        plan = self.plan
+        now = self.env.now
+
+        for window in plan.error_windows:
+            if window.covers(now, op):
+                self.window_errors += 1
+                self._count_error(op)
+                return FaultDecision(error=True, slow_factor=1.0, extra_latency=0.0)
+
+        probability = plan.error_probability(op)
+        if probability > 0.0 and self._rng.random() < probability:
+            self._count_error(op)
+            return FaultDecision(error=True, slow_factor=1.0, extra_latency=0.0)
+
+        extra = 0.0
+        if plan.stall_prob > 0.0 and self._rng.random() < plan.stall_prob:
+            self.injected_stalls += 1
+            extra = plan.stall_duration
+
+        factor = plan.slow_factor
+        for window in plan.slow_windows:
+            if window.covers(now):
+                factor *= window.factor
+        if factor != 1.0:
+            self.slowed_ops += 1
+
+        if extra == 0.0 and factor == 1.0:
+            return CLEAN
+        return FaultDecision(error=False, slow_factor=factor, extra_latency=extra)
+
+    def _count_error(self, op: str) -> None:
+        if op == "read":
+            self.injected_read_errors += 1
+        else:
+            self.injected_write_errors += 1
+
+    # -- power loss ----------------------------------------------------------
+
+    def arm_power_loss(self) -> None:
+        """Schedule the plan's power cut (no-op if the plan has none).
+
+        At the cut instant the environment is halted (subsequent
+        ``run`` calls return immediately) and ``Environment.run``
+        returns the crash time via :class:`PowerLoss`.
+        """
+        if self.plan.power_loss_at is None:
+            return
+        self.env.process(self._power_loss(), name=f"power-loss-{self.stream_name}")
+
+    def _power_loss(self):
+        yield self.env.timeout(self.plan.power_loss_at - self.env.now)
+        self.power_lost_at = self.env.now
+        self.env.halt(reason=self.env.now)
+        raise PowerLoss(self.env.now)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Counters of everything this injector did."""
+        return {
+            "stream": self.stream_name,
+            "injected_read_errors": self.injected_read_errors,
+            "injected_write_errors": self.injected_write_errors,
+            "window_errors": self.window_errors,
+            "injected_stalls": self.injected_stalls,
+            "slowed_ops": self.slowed_ops,
+            "power_lost_at": self.power_lost_at,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector {self.stream_name} plan={self.plan!r} "
+            f"errors={self.injected_read_errors + self.injected_write_errors}>"
+        )

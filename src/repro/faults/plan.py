@@ -1,0 +1,138 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a pure description of *what can go wrong* on a
+device: transient per-op error probabilities, scheduled full-failure
+windows, latency degradation (a slowing disk), injected stalls, and an
+optional power-loss instant.  Plans carry no randomness of their own —
+the :class:`~repro.faults.injector.FaultInjector` draws from a named
+:class:`~repro.sim.rand.RandomStreams` stream, so the same seed and the
+same plan always produce the same fault sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.block.request import READ, WRITE
+
+
+class FaultWindow(NamedTuple):
+    """A scheduled failure interval: every matching op in it errors.
+
+    ``op`` restricts the window to ``"read"`` or ``"write"``; ``None``
+    fails both.  The window covers ``[start, end)``.
+    """
+
+    start: float
+    end: float
+    op: Optional[str] = None
+
+    def covers(self, now: float, op: str) -> bool:
+        """Does this window fail *op* at time *now*?"""
+        return self.start <= now < self.end and (self.op is None or self.op == op)
+
+
+class SlowWindow(NamedTuple):
+    """A degradation interval: service times multiply by ``factor``."""
+
+    start: float
+    end: float
+    factor: float
+
+    def covers(self, now: float) -> bool:
+        """Is *now* inside the degradation interval?"""
+        return self.start <= now < self.end
+
+
+class FaultPlan:
+    """What can fail on one device, and when.
+
+    All probabilities are per-request.  An empty plan (the default)
+    injects nothing; installing it is behaviour-neutral.
+    """
+
+    def __init__(
+        self,
+        read_error_prob: float = 0.0,
+        write_error_prob: float = 0.0,
+        error_latency: float = 0.005,
+        error_windows: Optional[List[FaultWindow]] = None,
+        slow_factor: float = 1.0,
+        slow_windows: Optional[List[SlowWindow]] = None,
+        stall_prob: float = 0.0,
+        stall_duration: float = 60.0,
+        power_loss_at: Optional[float] = None,
+    ):
+        for name, prob in (
+            ("read_error_prob", read_error_prob),
+            ("write_error_prob", write_error_prob),
+            ("stall_prob", stall_prob),
+        ):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {prob}")
+        if error_latency < 0:
+            raise ValueError(f"error_latency must be >= 0, got {error_latency}")
+        if slow_factor < 1.0:
+            raise ValueError(f"slow_factor must be >= 1, got {slow_factor}")
+        if stall_duration < 0:
+            raise ValueError(f"stall_duration must be >= 0, got {stall_duration}")
+        if power_loss_at is not None and power_loss_at <= 0:
+            raise ValueError(f"power_loss_at must be positive, got {power_loss_at}")
+        for window in error_windows or ():
+            if window.start >= window.end:
+                raise ValueError(f"empty fault window {window}")
+            if window.op not in (None, READ, WRITE):
+                raise ValueError(f"window op must be read/write/None, got {window.op!r}")
+        for window in slow_windows or ():
+            if window.start >= window.end:
+                raise ValueError(f"empty slow window {window}")
+            if window.factor < 1.0:
+                raise ValueError(f"slow window factor must be >= 1, got {window.factor}")
+
+        self.read_error_prob = read_error_prob
+        self.write_error_prob = write_error_prob
+        #: Time a failed attempt occupies the device before erroring.
+        self.error_latency = error_latency
+        self.error_windows: List[FaultWindow] = list(error_windows or ())
+        #: Global service-time multiplier (a uniformly slow disk).
+        self.slow_factor = slow_factor
+        self.slow_windows: List[SlowWindow] = list(slow_windows or ())
+        self.stall_prob = stall_prob
+        self.stall_duration = stall_duration
+        #: Simulated time of an abrupt power cut (None = never).
+        self.power_loss_at = power_loss_at
+
+    @property
+    def empty(self) -> bool:
+        """True if this plan injects nothing at all."""
+        return (
+            self.read_error_prob == 0.0
+            and self.write_error_prob == 0.0
+            and not self.error_windows
+            and self.slow_factor == 1.0
+            and not self.slow_windows
+            and self.stall_prob == 0.0
+            and self.power_loss_at is None
+        )
+
+    def error_probability(self, op: str) -> float:
+        """The transient error probability for *op*."""
+        return self.read_error_prob if op == READ else self.write_error_prob
+
+    def __repr__(self) -> str:
+        if self.empty:
+            return "<FaultPlan empty>"
+        parts = []
+        if self.read_error_prob:
+            parts.append(f"read_err={self.read_error_prob}")
+        if self.write_error_prob:
+            parts.append(f"write_err={self.write_error_prob}")
+        if self.error_windows:
+            parts.append(f"windows={len(self.error_windows)}")
+        if self.slow_factor != 1.0 or self.slow_windows:
+            parts.append("slow")
+        if self.stall_prob:
+            parts.append(f"stall={self.stall_prob}")
+        if self.power_loss_at is not None:
+            parts.append(f"power_loss@{self.power_loss_at}")
+        return f"<FaultPlan {' '.join(parts)}>"

@@ -13,11 +13,26 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.block.request import READ, WRITE, BlockRequest
 from repro.cache.page import PageKey
+from repro.faults.errors import EIO
 from repro.fs.alloc import Allocator
 from repro.fs.inode import Inode
 from repro.fs.journal import Journal
 from repro.sim.events import AllOf
 from repro.units import PAGE_SIZE
+
+
+def raise_on_failed(events) -> None:
+    """Raise :class:`EIO` if any completed block request in *events* failed.
+
+    Every ``done`` event succeeds with its request (even on failure);
+    synchronous paths — reads, O_DIRECT, fsync — call this after
+    waiting so persistent device errors surface at the syscall layer
+    instead of being silently absorbed.
+    """
+    for event in events:
+        request = event.value
+        if getattr(request, "failed", False):
+            raise EIO(request.error or request)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.block.queue import BlockQueue
@@ -228,6 +243,7 @@ class FileSystem:
             events = self._read_blocks(task, inode, missing)
             if events:
                 yield AllOf(self.env, events)
+                raise_on_failed(events)
         return nbytes
 
     def _read_blocks(self, task: "Task", inode: Inode, missing: List[Tuple[int, int]]):
@@ -283,6 +299,7 @@ class FileSystem:
             events = self._read_blocks_nocache(task, missing)
             if events:
                 yield AllOf(self.env, events)
+                raise_on_failed(events)
         return nbytes
 
     def write_direct(self, task: "Task", inode: Inode, offset: int, nbytes: int):
@@ -320,6 +337,7 @@ class FileSystem:
             inode.size = offset + nbytes
         if events:
             yield AllOf(self.env, events)
+            raise_on_failed(events)
         return nbytes
 
     def _read_blocks_nocache(self, task: "Task", missing: List[Tuple[int, int]]):
@@ -450,6 +468,7 @@ class FileSystem:
         events.extend(self.inflight_events(inode.id))
         if events:
             yield AllOf(self.env, events)
+            raise_on_failed(events)
 
         txn = self.journal.transaction_of(inode.id, inode.metadata_block)
         if txn is not None:

@@ -21,15 +21,40 @@ task itself — reproducing Figure 17.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Set
 
 from repro.block.request import WRITE, BlockRequest
 from repro.core.tags import CauseSet
+from repro.faults.errors import EIO
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.base import FileSystem
     from repro.proc import Task
     from repro.sim.core import Environment
+
+
+class CommitRecord(NamedTuple):
+    """A durable commit, as crash recovery would reconstruct it.
+
+    Snapshotted the instant the commit record completes: the metadata
+    blocks the transaction journalled, and the data blocks that
+    metadata references (the ordered inodes' block maps).  Recovery
+    checks the ordered-mode invariant against these.
+    """
+
+    tid: int
+    committed_at: float
+    metadata_blocks: frozenset
+    data_blocks: frozenset
+
+
+class CheckpointEntry(NamedTuple):
+    """Metadata committed to the journal but not yet written in place."""
+
+    time: float
+    tid: int
+    blocks: Set[int]
+    causes: CauseSet
 
 
 class Transaction:
@@ -40,6 +65,7 @@ class Transaction:
     RUNNING = "running"
     COMMITTING = "committing"
     COMMITTED = "committed"
+    ABORTED = "aborted"
 
     def __init__(self, env: "Environment"):
         self.tid = next(Transaction._tids)
@@ -94,9 +120,16 @@ class Journal:
         self._journal_head = area_start
         #: Metadata blocks committed but not yet checkpointed in place,
         #: with the cause set recorded at commit time.
-        self._checkpoint_queue: List = []
+        self._checkpoint_queue: List[CheckpointEntry] = []
+        #: Durable commits in order (crash recovery's view of the log).
+        self.committed_log: List[CommitRecord] = []
+        #: Set when a journal write failed permanently: the filesystem
+        #: is effectively read-only and fsync raises EIO (ext4 behaviour
+        #: short of remount-ro).
+        self.aborted = False
         self.commits = 0
         self.journal_blocks_written = 0
+        self.checkpoint_errors = 0
         env.process(self._commit_timer(), name=f"jbd2-timer-{fs.name}")
         env.process(self._checkpointer(), name=f"jbd2-checkpoint-{fs.name}")
 
@@ -126,15 +159,30 @@ class Journal:
     # -- committing ----------------------------------------------------------
 
     def ensure_committed(self, txn: Transaction):
-        """Generator: wait until *txn* is durable, committing if needed."""
+        """Generator: wait until *txn* is durable, committing if needed.
+
+        Raises :class:`EIO` if the journal aborted (a journal or
+        ordered-data write failed permanently): the transaction can
+        never become durable.
+        """
         while txn.state != Transaction.COMMITTED:
+            if self.aborted or txn.state == Transaction.ABORTED:
+                raise EIO(f"journal of {self.fs.name} aborted; txn #{txn.tid} lost")
             if txn.state == Transaction.RUNNING:
                 yield from self.commit_running()
             else:
                 yield txn.done
 
     def commit_running(self):
-        """Generator: commit the current running transaction."""
+        """Generator: commit the current running transaction.
+
+        On a permanent write failure the journal *aborts*: the
+        transaction is marked :attr:`~Transaction.ABORTED`, its waiters
+        are released (they observe the state and raise EIO in their own
+        context), and no further commits are attempted.
+        """
+        if self.aborted:
+            return
         # Only one commit at a time: wait for any in-flight commit first.
         while self.committing is not None:
             committing = self.committing
@@ -169,6 +217,11 @@ class Journal:
                 from repro.sim.events import AllOf
 
                 yield AllOf(self.env, data_events)
+                if any(event.value.failed for event in data_events):
+                    # Ordered data never became durable: committing now
+                    # would let recovered metadata reference lost data.
+                    self._abort(txn)
+                    return
 
             # Step 2: journal blocks, written sequentially.
             nblocks = self.commit_size(txn)
@@ -185,16 +238,46 @@ class Journal:
             )
             done = self.fs.block_queue.submit(request)
             yield done
+            if request.failed:
+                self._abort(txn)
+                return
             self.journal_blocks_written += nblocks
 
             txn.state = Transaction.COMMITTED
             txn.commit_end = self.env.now
             self.commits += 1
             self.fs.tags.release_tag(txn)
-            self._checkpoint_queue.append((self.env.now, set(txn.metadata_blocks), causes))
+            self.committed_log.append(self._commit_record(txn))
+            self._checkpoint_queue.append(
+                CheckpointEntry(self.env.now, txn.tid, set(txn.metadata_blocks), causes)
+            )
             txn.done.succeed(txn)
         finally:
             self.committing = None
+
+    def _commit_record(self, txn: Transaction) -> CommitRecord:
+        """Snapshot what recovery would reconstruct for this commit."""
+        data_blocks: Set[int] = set()
+        for inode_id in txn.ordered_inodes:
+            inode = self.fs.inode_by_id(inode_id)
+            if inode is not None:
+                data_blocks.update(inode.block_map.values())
+        return CommitRecord(
+            tid=txn.tid,
+            committed_at=self.env.now,
+            metadata_blocks=frozenset(txn.metadata_blocks),
+            data_blocks=frozenset(data_blocks),
+        )
+
+    def _abort(self, txn: Transaction) -> None:
+        """A commit write failed permanently: the journal shuts down."""
+        self.aborted = True
+        txn.state = Transaction.ABORTED
+        txn.commit_end = self.env.now
+        self.fs.tags.release_tag(txn)
+        # Release waiters; they observe ABORTED and raise EIO themselves
+        # (failing the event would kill kernel daemons waiting on it).
+        txn.done.succeed(txn)
 
     def commit_size(self, txn: Transaction) -> int:
         """Journal blocks for one commit.
@@ -232,30 +315,48 @@ class Journal:
                 yield from self.commit_running()
 
     def _checkpointer(self):
-        """Write committed metadata in place once it has aged."""
+        """Write committed metadata in place once it has aged.
+
+        A failed checkpoint write is harmless for durability (the
+        journal copy is authoritative until the in-place write lands),
+        so failed blocks are simply re-queued for the next pass.
+        """
         while True:
             yield self.env.timeout(self.checkpoint_delay)
             now = self.env.now
-            due = [entry for entry in self._checkpoint_queue if now - entry[0] >= self.checkpoint_delay]
-            self._checkpoint_queue = [
-                entry for entry in self._checkpoint_queue if now - entry[0] < self.checkpoint_delay
+            due = [
+                entry for entry in self._checkpoint_queue if now - entry.time >= self.checkpoint_delay
             ]
-            events = []
-            for _, blocks, causes in due:
-                for block in sorted(blocks):
+            self._checkpoint_queue = [
+                entry for entry in self._checkpoint_queue if now - entry.time < self.checkpoint_delay
+            ]
+            pending = []  # (entry, block, done-event)
+            for entry in due:
+                for block in sorted(entry.blocks):
                     request = BlockRequest(
                         WRITE,
                         block=block,
                         nblocks=1,
                         submitter=self.task,
-                        causes=causes,
+                        causes=entry.causes,
                         metadata=True,
                     )
-                    events.append(self.fs.block_queue.submit(request))
-            if events:
+                    pending.append((entry, block, self.fs.block_queue.submit(request)))
+            if pending:
                 from repro.sim.events import AllOf
 
-                yield AllOf(self.env, events)
+                yield AllOf(self.env, [event for _, _, event in pending])
+                requeue: Dict[int, CheckpointEntry] = {}
+                for entry, block, event in pending:
+                    if not event.value.failed:
+                        continue
+                    self.checkpoint_errors += 1
+                    retry = requeue.get(entry.tid)
+                    if retry is None:
+                        retry = CheckpointEntry(self.env.now, entry.tid, set(), entry.causes)
+                        requeue[entry.tid] = retry
+                    retry.blocks.add(block)
+                self._checkpoint_queue.extend(requeue.values())
 
 
 class LogicalJournal(Journal):

@@ -6,6 +6,7 @@ from repro.metrics.recorders import (
     ThroughputTracker,
     TimeSeries,
     deviation_from_ideal,
+    fault_summary,
     percentile,
 )
 from repro.metrics.trace import BlockTracer, IOStat, TraceRecord
@@ -18,5 +19,6 @@ __all__ = [
     "TimeSeries",
     "TraceRecord",
     "deviation_from_ideal",
+    "fault_summary",
     "percentile",
 ]

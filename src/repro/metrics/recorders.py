@@ -45,6 +45,29 @@ def deviation_from_ideal(actual: Dict, ideal: Dict) -> float:
     return 100.0 * sum(deviations) / len(deviations)
 
 
+def fault_summary(queue) -> Dict[str, object]:
+    """Per-device error/retry/timeout counters for one block queue.
+
+    Combines the block layer's view (retries, timeouts, permanently
+    failed requests) with the fault injector's, when the device wraps
+    one.  Cheap to call at any point; used by the CLI to report fault
+    statistics alongside experiment results.
+    """
+    device = queue.device
+    summary: Dict[str, object] = {
+        "device": device.name,
+        "completed": queue.completed,
+        "failed": queue.failed,
+        "device_errors": queue.errors,
+        "retries": queue.retries,
+        "timeouts": queue.timeouts,
+    }
+    injector = getattr(device, "injector", None)
+    if injector is not None:
+        summary["injected"] = injector.summary()
+    return summary
+
+
 class LatencyRecorder:
     """Collects (time, latency) samples for one operation stream."""
 

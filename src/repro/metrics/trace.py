@@ -31,6 +31,9 @@ class TraceRecord(NamedTuple):
     causes: frozenset
     sync: bool
     metadata: bool
+    #: "ok" or "failed" — appended with a default so existing
+    #: positional consumers keep working.
+    status: str = "ok"
 
 
 class BlockTracer:
@@ -59,6 +62,7 @@ class BlockTracer:
                 causes=frozenset(request.causes),
                 sync=request.sync,
                 metadata=request.metadata,
+                status=request.status,
             )
         )
 

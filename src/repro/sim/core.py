@@ -38,11 +38,28 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self.active_process: Optional[Process] = None
+        self._halted = False
+        self._halt_reason: Any = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def halted(self) -> bool:
+        """True once :meth:`halt` was called (e.g. a simulated power loss)."""
+        return self._halted
+
+    def halt(self, reason: Any = None) -> None:
+        """Stop the world permanently (a power cut, not a pause).
+
+        Pending events are abandoned; every subsequent :meth:`run` call
+        returns *reason* immediately.  Crash-recovery code inspects the
+        frozen state afterwards.
+        """
+        self._halted = True
+        self._halt_reason = reason
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Put *event* on the queue to be processed after *delay*."""
@@ -89,7 +106,11 @@ class Environment:
         - ``until`` is None: run until no events remain.
         - ``until`` is a number: run until the clock reaches it.
         - ``until`` is an Event: run until it triggers; returns its value.
+
+        A halted environment (see :meth:`halt`) returns immediately.
         """
+        if self._halted:
+            return self._halt_reason
         if until is not None and not isinstance(until, Event):
             at = float(until)
             if at <= self._now:
@@ -105,8 +126,9 @@ class Environment:
             until.callbacks.append(_stop_simulation)
 
         try:
-            while True:
+            while not self._halted:
                 self.step()
+            return self._halt_reason
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:

@@ -4,6 +4,13 @@ Workloads and applications interact with storage exclusively through
 this class; every call is a generator driven by the simulation
 (``yield from os.read(...)``).  Syscall entry/return hooks fire here —
 this is the "system-call level" of the split framework.
+
+Error semantics: when the device fails a request permanently (the block
+layer exhausted its retries — see :mod:`repro.faults`), synchronous
+calls (``read``, ``fsync``, direct I/O) raise
+:class:`~repro.faults.errors.EIO`.  Buffered writes succeed into the
+page cache; a later flush failure re-dirties the pages and surfaces at
+the next ``fsync``, exactly like Linux.
 """
 
 from __future__ import annotations

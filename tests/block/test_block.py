@@ -174,6 +174,45 @@ def test_kick_wakes_idle_dispatcher():
     assert finish and finish[0] >= 5
 
 
+def test_kick_arriving_during_poll_is_not_lost():
+    """A kick() racing with next_request() must re-poll, not deadlock.
+
+    The scheduler below kicks mid-poll while returning None — modelling
+    a submit that lands while the dispatcher is already awake and has
+    consumed its wake event.  Without the pending-kick flag that kick
+    hits the stale (already-triggered) event and the dispatcher sleeps
+    forever with a ready request queued.
+    """
+
+    class MidPollKicker(Noop):
+        def __init__(self):
+            super().__init__()
+            self.queue = None
+            self.suppress_once = True
+
+        def next_request(self):
+            if self.suppress_once and self._fifo:
+                self.suppress_once = False
+                self.queue.kick()  # the racing submit's kick
+                return None  # pretend the request isn't visible yet
+            return super().next_request()
+
+    sched = MidPollKicker()
+    env, table, queue = make_stack(sched)
+    sched.queue = queue
+    task = table.spawn("t")
+    done = []
+
+    def proc():
+        yield queue.submit(BlockRequest(READ, 0, 1, task))
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done  # the dispatcher re-polled instead of sleeping forever
+    assert queue.completed == 1
+
+
 def test_accounting_skips_unknown_pids():
     """Causes can outlive their tasks (e.g. exited processes)."""
     env, table, queue = make_stack()

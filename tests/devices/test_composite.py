@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.devices import HDD, JitteryDevice, RAID0, SSD
+from repro.devices import HDD, JitteryDevice, RAID0, SSD, DeviceError
 from repro.units import MB, PAGE_SIZE
 
 
@@ -45,7 +45,7 @@ def test_raid0_stats_accumulate_on_array():
 
 def test_raid0_bounds_checked():
     array = RAID0([SSD(capacity_blocks=100)], stripe_blocks=4)
-    with pytest.raises(ValueError):
+    with pytest.raises(DeviceError):
         array.service_time("read", 99, 2)
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.devices import HDD, SSD
+from repro.devices import HDD, SSD, DeviceError
 from repro.units import MB, PAGE_SIZE
 
 
@@ -15,12 +15,26 @@ def test_device_rejects_zero_capacity():
 
 def test_request_bounds_checked():
     disk = HDD(capacity_blocks=100)
-    with pytest.raises(ValueError):
+    with pytest.raises(DeviceError):
         disk.service_time("read", 99, 2)
-    with pytest.raises(ValueError):
+    with pytest.raises(DeviceError):
         disk.service_time("read", -1, 1)
-    with pytest.raises(ValueError):
+    with pytest.raises(DeviceError):
         disk.service_time("read", 0, 0)
+
+
+def test_bounds_rejection_leaves_accounting_untouched():
+    """A rejected request must not mutate counters or head position."""
+    disk = HDD(capacity_blocks=100)
+    disk.service_time("read", 0, 4)
+    before = (disk.stats.reads, disk.stats.writes, disk.stats.bytes_read,
+              disk.stats.bytes_written, disk.stats.busy_time, disk._last_block_end)
+    with pytest.raises(DeviceError):
+        disk.service_time("write", 99, 8)
+    after = (disk.stats.reads, disk.stats.writes, disk.stats.bytes_read,
+             disk.stats.bytes_written, disk.stats.busy_time, disk._last_block_end)
+    assert before == after
+    assert not DeviceError("x").retryable
 
 
 def test_unknown_op_rejected():

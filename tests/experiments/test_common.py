@@ -53,3 +53,32 @@ def test_format_table_alignment():
     assert lines[0].startswith("name")
     assert "------" in lines[1]
     assert lines[3].startswith("longer")
+
+
+def test_build_stack_installs_and_clears_fault_plan():
+    from repro.experiments import common
+    from repro.faults import FaultPlan, FaultyDevice
+
+    common.set_default_fault_plan(FaultPlan(read_error_prob=0.5), seed=3)
+    try:
+        env, machine = common.build_stack(scheduler=Noop(), memory_bytes=64 * MB)
+        assert isinstance(machine.block_queue.device, FaultyDevice)
+        summaries = common.drain_fault_summaries()
+        assert len(summaries) == 1
+        assert summaries[0]["device"].startswith("faulty-")
+    finally:
+        common.clear_default_fault_plan()
+    env, machine = common.build_stack(scheduler=Noop(), memory_bytes=64 * MB)
+    assert not isinstance(machine.block_queue.device, FaultyDevice)
+
+
+def test_empty_fault_plan_is_not_installed():
+    from repro.experiments import common
+    from repro.faults import FaultPlan, FaultyDevice
+
+    common.set_default_fault_plan(FaultPlan(), seed=1)  # empty: a no-op
+    try:
+        env, machine = common.build_stack(scheduler=Noop(), memory_bytes=64 * MB)
+        assert not isinstance(machine.block_queue.device, FaultyDevice)
+    finally:
+        common.clear_default_fault_plan()

@@ -1,0 +1,71 @@
+"""Tests for the FaultyDevice wrapper: neutrality and injection."""
+
+import pytest
+
+from repro.devices import HDD, SSD, DeviceError
+from repro.faults import FaultInjector, FaultPlan, FaultyDevice, MediumError
+from repro.sim import Environment
+from repro.sim.rand import RandomStreams
+
+
+def wrap(inner, plan, seed=0):
+    env = Environment()
+    injector = FaultInjector(env, plan, RandomStreams(seed))
+    return FaultyDevice(inner, injector)
+
+
+def test_empty_plan_is_service_time_neutral():
+    """With no plan the wrapper must be bit-identical to the raw device."""
+    pattern = [("read", 0, 8), ("write", 4096, 64), ("read", 9000, 1),
+               ("write", 4160, 64), ("read", 1, 8)]
+    raw = HDD()
+    wrapped = wrap(HDD(), FaultPlan())
+    for op, block, nblocks in pattern * 5:
+        assert wrapped.service_time(op, block, nblocks) == raw.service_time(op, block, nblocks)
+
+
+def test_injected_error_raises_retryable_medium_error():
+    device = wrap(SSD(), FaultPlan(write_error_prob=1.0, error_latency=0.02))
+    with pytest.raises(MediumError) as info:
+        device.service_time("write", 0, 8)
+    assert info.value.retryable
+    assert info.value.latency == 0.02
+    assert isinstance(info.value, DeviceError)
+
+
+def test_error_leaves_accounting_untouched():
+    device = wrap(SSD(), FaultPlan(write_error_prob=1.0))
+    with pytest.raises(MediumError):
+        device.service_time("write", 0, 8)
+    assert device.stats.writes == 0
+    assert device.stats.busy_time == 0.0
+
+
+def test_slow_factor_scales_service_time():
+    inner1, inner2 = SSD(), SSD()
+    plain = wrap(inner1, FaultPlan())
+    slowed = wrap(inner2, FaultPlan(slow_factor=3.0))
+    assert slowed.service_time("read", 0, 8) == pytest.approx(
+        3.0 * plain.service_time("read", 0, 8)
+    )
+
+
+def test_stall_adds_latency():
+    device = wrap(SSD(), FaultPlan(stall_prob=1.0, stall_duration=60.0))
+    duration = device.service_time("read", 0, 1)
+    assert duration > 60.0
+
+
+def test_bounds_checked_before_injection():
+    device = wrap(SSD(capacity_blocks=100), FaultPlan(read_error_prob=1.0))
+    with pytest.raises(DeviceError) as info:
+        device.service_time("read", 99, 2)
+    assert not isinstance(info.value, MediumError)  # bounds, not media
+    assert not info.value.retryable
+
+
+def test_reads_and_writes_independent_probabilities():
+    device = wrap(SSD(), FaultPlan(read_error_prob=1.0))
+    with pytest.raises(MediumError):
+        device.service_time("read", 0, 1)
+    device.service_time("write", 0, 1)  # writes untouched

@@ -1,0 +1,115 @@
+"""Tests for the fault injector: decisions, counters, determinism."""
+
+from repro.faults import CLEAN, FaultInjector, FaultPlan, FaultWindow, SlowWindow
+from repro.sim import Environment
+from repro.sim.rand import RandomStreams
+
+
+def make_injector(plan, seed=0):
+    env = Environment()
+    return env, FaultInjector(env, plan, RandomStreams(seed))
+
+
+def test_empty_plan_never_draws_rng():
+    env, injector = make_injector(FaultPlan())
+    rng = injector._rng
+    state_before = rng.getstate()
+    for i in range(100):
+        assert injector.decide("read", i, 1) is CLEAN
+        assert injector.decide("write", i, 1) is CLEAN
+    assert rng.getstate() == state_before  # truly inert
+
+
+def test_same_seed_same_decisions():
+    decisions = []
+    for _ in range(2):
+        env, injector = make_injector(
+            FaultPlan(read_error_prob=0.3, stall_prob=0.1), seed=42
+        )
+        decisions.append([injector.decide("read", i, 1) for i in range(200)])
+    assert decisions[0] == decisions[1]
+
+
+def test_different_seeds_differ():
+    outcomes = []
+    for seed in (1, 2):
+        env, injector = make_injector(FaultPlan(read_error_prob=0.3), seed=seed)
+        outcomes.append([injector.decide("read", i, 1).error for i in range(200)])
+    assert outcomes[0] != outcomes[1]
+
+
+def test_error_window_fails_every_matching_op():
+    env, injector = make_injector(
+        FaultPlan(error_windows=[FaultWindow(0.0, 10.0, op="write")])
+    )
+    assert injector.decide("write", 0, 1).error
+    assert not injector.decide("read", 0, 1).error
+    assert injector.window_errors == 1
+    assert injector.injected_write_errors == 1
+
+
+def test_slow_window_multiplies_inside_interval():
+    env, injector = make_injector(
+        FaultPlan(slow_windows=[SlowWindow(5.0, 10.0, 4.0)])
+    )
+    assert injector.decide("read", 0, 1) is CLEAN  # now=0, outside
+
+    env2 = Environment(initial_time=6.0)
+    injector2 = FaultInjector(env2, FaultPlan(slow_windows=[SlowWindow(5.0, 10.0, 4.0)]),
+                              RandomStreams(0))
+    decision = injector2.decide("read", 0, 1)
+    assert decision.slow_factor == 4.0
+    assert injector2.slowed_ops == 1
+
+
+def test_global_slow_factor_applies_everywhere():
+    env, injector = make_injector(FaultPlan(slow_factor=2.0))
+    decision = injector.decide("write", 0, 1)
+    assert decision.slow_factor == 2.0
+    assert not decision.error
+
+
+def test_error_counters_by_op():
+    env, injector = make_injector(
+        FaultPlan(read_error_prob=1.0, write_error_prob=1.0)
+    )
+    injector.decide("read", 0, 1)
+    injector.decide("write", 0, 1)
+    assert injector.injected_read_errors == 1
+    assert injector.injected_write_errors == 1
+    summary = injector.summary()
+    assert summary["injected_read_errors"] == 1
+    assert summary["injected_write_errors"] == 1
+
+
+def test_stall_adds_plan_duration():
+    env, injector = make_injector(
+        FaultPlan(stall_prob=1.0, stall_duration=45.0)
+    )
+    decision = injector.decide("read", 0, 1)
+    assert decision.extra_latency == 45.0
+    assert injector.injected_stalls == 1
+
+
+def test_power_loss_halts_environment():
+    env = Environment()
+    plan = FaultPlan(power_loss_at=5.0)
+    injector = FaultInjector(env, plan, RandomStreams(0))
+    injector.arm_power_loss()
+    reason = env.run()
+    assert env.halted
+    assert env.now == 5.0
+    assert reason == 5.0
+    assert injector.power_lost_at == 5.0
+    # Halt is sticky: further runs return immediately.
+    assert env.run(until=100.0) == 5.0
+    assert env.now == 5.0
+
+
+def test_arm_power_loss_without_plan_is_noop():
+    env = Environment()
+    injector = FaultInjector(env, FaultPlan(read_error_prob=0.1), RandomStreams(0))
+    injector.arm_power_loss()
+    env.timeout(1.0)
+    env.run(until=2.0)
+    assert not env.halted

@@ -1,0 +1,65 @@
+"""Tests for FaultPlan validation and the empty-plan contract."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultWindow, SlowWindow
+
+
+def test_default_plan_is_empty():
+    assert FaultPlan().empty
+
+
+def test_any_fault_mode_makes_plan_non_empty():
+    assert not FaultPlan(read_error_prob=0.1).empty
+    assert not FaultPlan(write_error_prob=0.1).empty
+    assert not FaultPlan(error_windows=[FaultWindow(1, 2)]).empty
+    assert not FaultPlan(slow_factor=2.0).empty
+    assert not FaultPlan(slow_windows=[SlowWindow(1, 2, 3.0)]).empty
+    assert not FaultPlan(stall_prob=0.01).empty
+    assert not FaultPlan(power_loss_at=10.0).empty
+
+
+def test_probabilities_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(read_error_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(write_error_prob=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(stall_prob=2.0)
+
+
+def test_latency_and_factor_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(error_latency=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(slow_factor=0.5)
+    with pytest.raises(ValueError):
+        FaultPlan(stall_duration=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(power_loss_at=0.0)
+
+
+def test_windows_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(error_windows=[FaultWindow(5, 5)])
+    with pytest.raises(ValueError):
+        FaultPlan(error_windows=[FaultWindow(1, 2, op="erase")])
+    with pytest.raises(ValueError):
+        FaultPlan(slow_windows=[SlowWindow(2, 1, 2.0)])
+    with pytest.raises(ValueError):
+        FaultPlan(slow_windows=[SlowWindow(1, 2, 0.9)])
+
+
+def test_window_covers_half_open_interval():
+    window = FaultWindow(1.0, 2.0)
+    assert window.covers(1.0, "read")
+    assert not window.covers(2.0, "read")
+    scoped = FaultWindow(1.0, 2.0, op="write")
+    assert scoped.covers(1.5, "write")
+    assert not scoped.covers(1.5, "read")
+
+
+def test_error_probability_by_op():
+    plan = FaultPlan(read_error_prob=0.1, write_error_prob=0.2)
+    assert plan.error_probability("read") == 0.1
+    assert plan.error_probability("write") == 0.2

@@ -100,3 +100,47 @@ def test_time_series_window_average():
     assert series.window_average(0, 5) == pytest.approx(20)
     assert series.window_average(100, 200) == 0.0
     assert len(series) == 10
+
+
+def test_fault_summary_reports_queue_and_injector_counters():
+    from repro import Environment
+    from repro.block import BlockQueue, BlockRequest
+    from repro.block.request import WRITE
+    from repro.devices import SSD
+    from repro.faults import FaultInjector, FaultPlan, FaultyDevice
+    from repro.metrics import fault_summary
+    from repro.proc import ProcessTable
+    from repro.schedulers.noop import Noop
+    from repro.sim.rand import RandomStreams
+
+    env = Environment()
+    injector = FaultInjector(
+        env, FaultPlan(write_error_prob=1.0), RandomStreams(0), stream_name="faults.ssd"
+    )
+    device = FaultyDevice(SSD(), injector)
+    table = ProcessTable()
+    queue = BlockQueue(env, device, Noop(), process_table=table)
+    request = BlockRequest(WRITE, 0, 4, table.spawn("t"))
+    queue.submit(request)
+    env.run(until=request.done)
+
+    summary = fault_summary(queue)
+    assert summary["device"] == "faulty-ssd"
+    assert summary["failed"] == 1
+    assert summary["device_errors"] == 4  # 1 + max_retries attempts
+    assert summary["retries"] == 3
+    assert summary["injected"]["injected_write_errors"] == 4
+    assert summary["injected"]["stream"] == "faults.ssd"
+
+
+def test_fault_summary_on_plain_device_omits_injector():
+    from repro import Environment
+    from repro.block import BlockQueue
+    from repro.devices import SSD
+    from repro.metrics import fault_summary
+    from repro.schedulers.noop import Noop
+
+    queue = BlockQueue(Environment(), SSD(), Noop())
+    summary = fault_summary(queue)
+    assert summary["device"] == "ssd"
+    assert "injected" not in summary

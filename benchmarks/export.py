@@ -1,0 +1,246 @@
+"""Standalone benchmark exporter: the simulator's performance trajectory.
+
+Times the same hot paths as ``test_simulator_microbench.py`` with plain
+``time.perf_counter`` (no pytest-benchmark dependency) and writes a
+machine-readable snapshot — ``BENCH_simulator.json`` — that is committed
+alongside the code.  Each PR that touches the kernel refreshes the file,
+so the repo carries its own performance history.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/export.py                  # write BENCH_simulator.json
+    PYTHONPATH=src python benchmarks/export.py --out bench.json
+    PYTHONPATH=src python benchmarks/export.py --check BENCH_simulator.json
+
+``--check`` reruns the microbenchmarks and fails (exit 1) if event-loop
+throughput regressed more than ``--tolerance`` (default 30%) against the
+baseline file — the CI smoke gate.  Absolute numbers are host-dependent;
+the committed baseline is only comparable on similar hardware, which is
+why the gate watches the relative trajectory, not the raw figure.
+
+Methodology: each microbench reports the *minimum* over ``--repeats``
+timed runs (default 25).  Minimum-of-N is the standard estimator for
+deterministic CPU-bound work — noise is strictly additive, so the
+minimum converges on the true cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import KB, MB, OS, SSD, Environment  # noqa: E402
+from repro.cache import PageCache, PageKey  # noqa: E402
+from repro.core.tags import TagManager  # noqa: E402
+from repro.proc import Task  # noqa: E402
+from repro.schedulers import Noop  # noqa: E402
+
+#: Simulated events per timing run of the event-loop bench.
+EVENT_LOOP_TICKS = 10_000
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of *fn* over *repeats* runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_event_loop(repeats: int) -> dict:
+    """Schedule-and-dispatch cost of bare timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(EVENT_LOOP_TICKS):
+                yield env.timeout(0.001)
+
+        env.process(ticker())
+        env.run()
+
+    run()  # warm-up
+    best = _best_of(run, repeats)
+    return {
+        "events": EVENT_LOOP_TICKS,
+        "us_per_event": round(best * 1e6 / EVENT_LOOP_TICKS, 4),
+        "events_per_sec": round(EVENT_LOOP_TICKS / best),
+    }
+
+
+def bench_cached_write_syscall(repeats: int) -> dict:
+    """End-to-end pwrite() through hooks, cache, and journal join."""
+    writes = 100
+
+    def run():
+        env = Environment()
+        machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=256 * MB)
+        task = machine.spawn("w")
+
+        def body():
+            handle = yield from machine.creat(task, "/f")
+            for _ in range(writes):
+                yield from handle.pwrite(0, 4 * KB)
+
+        proc = env.process(body())
+        env.run(until=proc)
+
+    run()
+    best = _best_of(run, repeats)
+    return {"writes": writes, "us_per_write": round(best * 1e6 / writes, 3)}
+
+
+def bench_cache_mark_dirty(repeats: int) -> dict:
+    pages = 1000
+    env = Environment()
+    cache = PageCache(env, TagManager(), memory_bytes=64 * MB)
+    task = Task("w")
+    counter = [0]
+
+    def run():
+        base = counter[0]
+        counter[0] += pages
+        for i in range(pages):
+            cache.mark_dirty(PageKey(1, (base + i) % 8192), task)
+
+    run()
+    best = _best_of(run, repeats)
+    return {"pages": pages, "us_per_page": round(best * 1e6 / pages, 4)}
+
+
+def bench_cache_hit_lookup(repeats: int) -> dict:
+    lookups = 4096
+    env = Environment()
+    cache = PageCache(env, TagManager(), memory_bytes=64 * MB)
+    for i in range(lookups):
+        cache.insert_clean(PageKey(1, i))
+
+    def run():
+        for i in range(lookups):
+            cache.lookup(PageKey(1, i))
+
+    run()
+    best = _best_of(run, repeats)
+    return {"lookups": lookups, "us_per_lookup": round(best * 1e6 / lookups, 4)}
+
+
+MICROBENCHES = {
+    "event_loop": bench_event_loop,
+    "cached_write_syscall": bench_cached_write_syscall,
+    "cache_mark_dirty": bench_cache_mark_dirty,
+    "cache_hit_lookup": bench_cache_hit_lookup,
+}
+
+#: Representative experiments timed for the suite wall-clock entry —
+#: small enough for a CI smoke job, end-to-end enough to catch a
+#: regression the microbenches miss.
+SUITE_KEYS = ("fig01", "fig12")
+
+
+def bench_suite(jobs: int = 1) -> dict:
+    """Wall-clock of a representative run-all subset (serial by default)."""
+    from repro.experiments import runner
+
+    t0 = time.perf_counter()
+    outcomes = runner.run_experiments([(key, None) for key in SUITE_KEYS], jobs=jobs)
+    wall = time.perf_counter() - t0
+    return {
+        "experiments": list(SUITE_KEYS),
+        "jobs": jobs,
+        "wall_seconds": round(wall, 2),
+        "serial_equivalent_seconds": round(
+            sum(outcome.seconds for outcome in outcomes.values()), 2
+        ),
+    }
+
+
+def collect(repeats: int, with_suite: bool = True, jobs: int = 1) -> dict:
+    payload = {
+        "schema": 1,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "methodology": f"min of {repeats} timed runs per microbench",
+        "benchmarks": {},
+    }
+    for name, fn in MICROBENCHES.items():
+        print(f"bench {name} ...", file=sys.stderr)
+        payload["benchmarks"][name] = fn(repeats)
+    if with_suite:
+        print(f"bench suite {SUITE_KEYS} ...", file=sys.stderr)
+        payload["suite"] = bench_suite(jobs=jobs)
+    return payload
+
+
+def check_against(baseline_path: str, current: dict, tolerance: float) -> int:
+    """Exit status for a regression gate on event-loop throughput."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    base_rate = baseline["benchmarks"]["event_loop"]["events_per_sec"]
+    new_rate = current["benchmarks"]["event_loop"]["events_per_sec"]
+    floor = base_rate * (1.0 - tolerance)
+    verdict = "OK" if new_rate >= floor else "REGRESSION"
+    print(
+        f"event_loop: {new_rate:,} events/s vs baseline {base_rate:,} "
+        f"(floor {floor:,.0f}, tolerance {tolerance:.0%}) -> {verdict}",
+        file=sys.stderr,
+    )
+    return 0 if new_rate >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_simulator.json",
+        help="output path (default: BENCH_simulator.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=25,
+        help="timed runs per microbench; the minimum is reported (default 25)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a baseline JSON; exit 1 if event-loop "
+             "throughput regressed beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional event-loop throughput drop for --check "
+             "(default 0.30)",
+    )
+    parser.add_argument(
+        "--no-suite", action="store_true",
+        help="skip the end-to-end suite wall-clock timing",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the suite timing (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    current = collect(args.repeats, with_suite=not args.no_suite, jobs=args.jobs)
+    Path(args.out).write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    for name, stats in current["benchmarks"].items():
+        print(f"  {name}: {stats}", file=sys.stderr)
+
+    if args.check:
+        return check_against(args.check, current, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,26 @@ class BlockRequest:
       split-framework schedulers consult it.
     """
 
+    __slots__ = (
+        "id",
+        "op",
+        "block",
+        "nblocks",
+        "submitter",
+        "causes",
+        "sync",
+        "metadata",
+        "pages",
+        "submit_time",
+        "dispatch_time",
+        "complete_time",
+        "done",
+        "deadline",
+        "attempts",
+        "failed",
+        "error",
+    )
+
     _ids = itertools.count(1)
 
     def __init__(

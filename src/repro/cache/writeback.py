@@ -126,6 +126,11 @@ class WritebackDaemon:
             from repro.sim.events import AnyOf
 
             yield AnyOf(self.env, [timer, self._kick])
+            if not timer.processed:
+                # Kicked early: the losing timer has no other
+                # subscribers, so let the run loop sweep it lazily
+                # instead of executing its stale callbacks.
+                timer.cancel()
 
             # Flush until below the background watermark (or an explicit
             # flush target), then expired pages.

@@ -5,13 +5,15 @@ Usage::
     python -m repro list                 # list experiment ids
     python -m repro run fig13            # regenerate one figure
     python -m repro run fig13 --set duration=10 --set rate_limit=1048576
+    python -m repro run fig15 --jobs 4   # fan the figure's cells across cores
+    python -m repro run-all --jobs 8     # the whole figure suite in parallel
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import json
+import os
 import sys
 from typing import Any, Dict
 
@@ -65,42 +67,120 @@ def _build_fault_plan(args):
     return None if plan.empty else plan
 
 
+def _resolve_jobs(jobs: int) -> int:
+    """``--jobs 0`` means "one worker per core"."""
+    return jobs if jobs > 0 else (os.cpu_count() or 1)
+
+
 def cmd_run(args) -> int:
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
         print(f"unknown experiment {args.experiment!r}; try `python -m repro list`",
               file=sys.stderr)
         return 2
-    module_name, title = entry
-    module = importlib.import_module(module_name)
+    _module_name, title = entry
     overrides: Dict[str, Any] = dict(args.overrides or [])
 
+    from repro.experiments import runner
+
     plan = _build_fault_plan(args)
-    if plan is not None:
-        from repro.experiments import common
-
-        common.set_default_fault_plan(plan, seed=args.fault_seed)
-
-    runner = getattr(module, "run_comparison", None) or module.run
     print(f"# {title}", file=sys.stderr)
-    try:
-        result = runner(**overrides)
-        if plan is not None:
-            from repro.experiments import common
-
-            faults = common.drain_fault_summaries()
-            if isinstance(result, dict):
-                result = dict(result, _faults=faults)
-            else:
-                result = {"result": result, "_faults": faults}
-    finally:
-        if plan is not None:
-            from repro.experiments import common
-
-            common.clear_default_fault_plan()
+    outcome = runner.run_experiment(
+        args.experiment,
+        overrides,
+        jobs=_resolve_jobs(args.jobs),
+        fault_plan=plan,
+        fault_seed=args.fault_seed,
+    )
+    result = outcome.result
+    if plan is not None:
+        if isinstance(result, dict):
+            result = dict(result, _faults=outcome.faults)
+        else:
+            result = {"result": result, "_faults": outcome.faults}
     json.dump(_jsonable(result), sys.stdout, indent=2)
     print()
     return 0
+
+
+def cmd_run_all(args) -> int:
+    """Run the whole figure suite (or --only subsets), cells in parallel."""
+    import time
+
+    from repro.experiments import runner
+
+    keys = sorted(args.only) if args.only else sorted(EXPERIMENTS)
+    unknown = [key for key in keys if key not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    jobs = _resolve_jobs(args.jobs)
+    plan = _build_fault_plan(args)
+    print(f"# running {len(keys)} experiments with --jobs {jobs}", file=sys.stderr)
+    started = time.perf_counter()
+    outcomes = runner.run_experiments(
+        [(key, None) for key in keys],
+        jobs=jobs,
+        fault_plan=plan,
+        fault_seed=args.fault_seed,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    elapsed = time.perf_counter() - started
+
+    combined: Dict[str, Any] = {}
+    for key in keys:
+        result = outcomes[key].result
+        if plan is not None:
+            if isinstance(result, dict):
+                result = dict(result, _faults=outcomes[key].faults)
+            else:
+                result = {"result": result, "_faults": outcomes[key].faults}
+        combined[key] = result
+
+    if args.out:
+        from repro.experiments.export import write_results
+
+        written = write_results(args.out, {key: outcomes[key] for key in keys})
+        print(f"wrote {len(written)} result files to {args.out}", file=sys.stderr)
+    else:
+        json.dump(_jsonable(combined), sys.stdout, indent=2)
+        print()
+    # Summed cell time over wall time is the *average concurrency*
+    # achieved, not a true speedup: per-cell times are measured inside
+    # (possibly contended) workers, so comparing against a dedicated
+    # serial run is the only honest speedup measurement.
+    cell_time = sum(outcomes[key].seconds for key in keys)
+    print(
+        f"# suite wall-clock {elapsed:.1f}s (summed cell time {cell_time:.1f}s, "
+        f"avg concurrency {cell_time / elapsed if elapsed > 0 else 1.0:.2f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _add_fault_args(parser) -> None:
+    faults = parser.add_argument_group(
+        "fault injection",
+        "inject device faults during the run (default: none; results gain "
+        "a _faults section with injector and retry statistics)",
+    )
+    faults.add_argument("--fault-read-error-prob", type=float, default=0.0,
+                        metavar="P", help="per-read transient error probability")
+    faults.add_argument("--fault-write-error-prob", type=float, default=0.0,
+                        metavar="P", help="per-write transient error probability")
+    faults.add_argument("--fault-error-latency", type=float, default=0.005,
+                        metavar="SEC", help="device time consumed by a failed attempt")
+    faults.add_argument("--fault-slow-factor", type=float, default=1.0,
+                        metavar="X", help="multiply all service times (slow disk)")
+    faults.add_argument("--fault-stall-prob", type=float, default=0.0,
+                        metavar="P", help="per-op probability of a long stall")
+    faults.add_argument("--fault-stall-duration", type=float, default=60.0,
+                        metavar="SEC", help="length of an injected stall")
+    faults.add_argument("--fault-power-loss-at", type=float, default=None,
+                        metavar="SEC", help="cut power at this simulated time")
+    faults.add_argument("--fault-seed", type=int, default=0,
+                        metavar="N", help="seed for the fault RNG stream")
 
 
 def main(argv=None) -> int:
@@ -122,34 +202,45 @@ def main(argv=None) -> int:
         metavar="KEY=VALUE",
         help="override a run() keyword (JSON-parsed; repeatable)",
     )
-    faults = run_parser.add_argument_group(
-        "fault injection",
-        "inject device faults during the run (default: none; results gain "
-        "a _faults section with injector and retry statistics)",
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the experiment's independent cells across N worker "
+             "processes (0 = one per core; results are byte-identical "
+             "to --jobs 1)",
     )
-    faults.add_argument("--fault-read-error-prob", type=float, default=0.0,
-                        metavar="P", help="per-read transient error probability")
-    faults.add_argument("--fault-write-error-prob", type=float, default=0.0,
-                        metavar="P", help="per-write transient error probability")
-    faults.add_argument("--fault-error-latency", type=float, default=0.005,
-                        metavar="SEC", help="device time consumed by a failed attempt")
-    faults.add_argument("--fault-slow-factor", type=float, default=1.0,
-                        metavar="X", help="multiply all service times (slow disk)")
-    faults.add_argument("--fault-stall-prob", type=float, default=0.0,
-                        metavar="P", help="per-op probability of a long stall")
-    faults.add_argument("--fault-stall-duration", type=float, default=60.0,
-                        metavar="SEC", help="length of an injected stall")
-    faults.add_argument("--fault-power-loss-at", type=float, default=None,
-                        metavar="SEC", help="cut power at this simulated time")
-    faults.add_argument("--fault-seed", type=int, default=0,
-                        metavar="N", help="seed for the fault RNG stream")
+    _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    all_parser = sub.add_parser(
+        "run-all",
+        help="run the whole figure suite, cells fanned across cores",
+    )
+    all_parser.add_argument(
+        "--only", action="append", metavar="ID",
+        help="restrict to these experiment ids (repeatable)",
+    )
+    all_parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (default 0 = one per core; results are "
+             "byte-identical for any N)",
+    )
+    all_parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write per-experiment JSON + REPORT.md to DIR instead of "
+             "printing combined JSON to stdout",
+    )
+    _add_fault_args(all_parser)
+    all_parser.set_defaults(func=cmd_run_all)
 
     export_parser = sub.add_parser("export", help="run experiments, write JSON + report")
     export_parser.add_argument("out_dir", help="directory for <id>.json files and REPORT.md")
     export_parser.add_argument(
         "--only", action="append", metavar="ID",
         help="restrict to these experiment ids (repeatable)",
+    )
+    export_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment cells (0 = one per core)",
     )
     export_parser.set_defaults(func=cmd_export)
 
@@ -160,7 +251,7 @@ def main(argv=None) -> int:
 def cmd_export(args) -> int:
     from repro.experiments.export import export_all
 
-    written = export_all(args.out_dir, only=args.only)
+    written = export_all(args.out_dir, only=args.only, jobs=_resolve_jobs(args.jobs))
     print(f"wrote {len(written)} result files to {args.out_dir}", file=sys.stderr)
     return 0
 

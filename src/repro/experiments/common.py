@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.devices import HDD, SSD
@@ -23,9 +24,15 @@ def set_default_fault_plan(plan, seed: int = 0) -> None:
     Every subsequent :func:`build_stack` wraps its device in a
     :class:`~repro.faults.FaultyDevice` driven by an injector seeded
     from *seed*, and arms the plan's power loss (if any).
+
+    Installing a plan starts a fresh fault *session*: queues tracked
+    under a previous plan are forgotten, so running two experiments in
+    one process never reports the first one's stacks in the second's
+    :func:`drain_fault_summaries`.
     """
     global _default_fault_plan
     _default_fault_plan = (plan, seed) if plan is not None and not plan.empty else None
+    _fault_queues.clear()
 
 
 def clear_default_fault_plan() -> None:
@@ -53,6 +60,25 @@ def make_device(kind: str):
     raise ValueError(f"unknown device kind {kind!r}")
 
 
+def reset_id_counters() -> None:
+    """Restart the global Task/BlockRequest/Inode id counters at 1.
+
+    Workload generators seed their default RNG from ``task.pid``, so a
+    stack's results depend on the absolute counter values.  Resetting at
+    every :func:`build_stack` gives each stack a fresh, self-contained
+    id namespace: a run produces the same numbers whether it executes
+    first or fifth in a batch, in-process or in a pool worker — the
+    property the parallel runner's byte-identical guarantee rests on.
+    """
+    from repro.block.request import BlockRequest
+    from repro.fs.inode import Inode
+    from repro.proc import Task
+
+    Task._pids = itertools.count(1)
+    BlockRequest._ids = itertools.count(1)
+    Inode._ids = itertools.count(1)
+
+
 def build_stack(
     scheduler=None,
     device: str = "hdd",
@@ -74,6 +100,7 @@ def build_stack(
     fault-injecting proxy; otherwise the stack is byte-identical to the
     fault-free one.
     """
+    reset_id_counters()
     env = Environment()
     dev = make_device(device)
     injector = None

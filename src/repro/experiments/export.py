@@ -7,13 +7,15 @@ report.
 
     from repro.experiments.export import export_all
     export_all("results/", only=["fig03", "tab1"], overrides={"fig03": {"duration": 10}})
+
+Pass ``jobs=N`` to fan each experiment's independent cells across
+worker processes (see :mod:`repro.experiments.runner`); the written
+results are byte-identical to a sequential export.
 """
 
 from __future__ import annotations
 
-import importlib
 import json
-import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Optional
 
@@ -32,22 +34,56 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def run_experiment(key: str, overrides: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    """Run one experiment by id; returns {key, title, seconds, result}."""
+def run_experiment(
+    key: str, overrides: Optional[Dict[str, Any]] = None, jobs: int = 1
+) -> Dict[str, Any]:
+    """Run one experiment by id; returns {key, title, seconds, result}.
+
+    ``wall_seconds`` is the summed cell time (the serial-equivalent
+    cost), so the recorded payload does not depend on ``jobs``.
+    """
     try:
-        module_name, title = EXPERIMENTS[key]
+        _module_name, title = EXPERIMENTS[key]
     except KeyError:
         raise ValueError(f"unknown experiment {key!r}") from None
-    module = importlib.import_module(module_name)
-    runner = getattr(module, "run_comparison", None) or module.run
-    started = time.time()
-    result = runner(**(overrides or {}))
+    from repro.experiments import runner
+
+    outcome = runner.run_experiment(key, overrides, jobs=jobs)
     return {
         "experiment": key,
         "title": title,
-        "wall_seconds": round(time.time() - started, 1),
-        "result": _jsonable(result),
+        "wall_seconds": round(outcome.seconds, 1),
+        "result": _jsonable(outcome.result),
     }
+
+
+def write_results(out_dir, outcomes: Dict[str, Any]) -> Dict[str, str]:
+    """Write ``<key>.json`` + ``REPORT.md`` for already-run experiments.
+
+    *outcomes* maps experiment id to a
+    :class:`~repro.experiments.runner.ExperimentResult`.  Used by
+    ``repro run-all --out`` after a shared-pool batch run.
+    """
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, str] = {}
+    report_lines = ["# Reproduction run", ""]
+    for key, outcome in outcomes.items():
+        _module_name, title = EXPERIMENTS[key]
+        payload = {
+            "experiment": key,
+            "title": title,
+            "wall_seconds": round(outcome.seconds, 1),
+            "result": _jsonable(outcome.result),
+        }
+        target = out_path / f"{key}.json"
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        written[key] = str(target)
+        report_lines.append(
+            f"- **{key}** — {title} ({payload['wall_seconds']}s) -> `{target.name}`"
+        )
+    (out_path / "REPORT.md").write_text("\n".join(report_lines) + "\n")
+    return written
 
 
 def export_all(
@@ -55,6 +91,7 @@ def export_all(
     only: Optional[Iterable[str]] = None,
     overrides: Optional[Dict[str, Dict[str, Any]]] = None,
     progress=print,
+    jobs: int = 1,
 ) -> Dict[str, str]:
     """Run experiments and write ``<key>.json`` files plus ``REPORT.md``.
 
@@ -71,7 +108,7 @@ def export_all(
     for key in keys:
         progress(f"running {key} ...")
         try:
-            payload = run_experiment(key, overrides.get(key))
+            payload = run_experiment(key, overrides.get(key), jobs=jobs)
         except Exception as exc:  # record, keep going
             report_lines.append(f"- **{key}**: FAILED — {exc!r}")
             continue

@@ -91,5 +91,14 @@ def run(
     }
 
 
+def cells(**kwargs):
+    """Parallelisable cells: one full run per scheduler."""
+    return [(name, "run", dict(scheduler=name, **kwargs)) for name in ("cfq", "split")]
+
+
+def merge(pairs, **kwargs) -> Dict[str, Dict]:
+    return dict(pairs)
+
+
 def run_comparison(**kwargs) -> Dict[str, Dict]:
-    return {name: run(scheduler=name, **kwargs) for name in ("cfq", "split")}
+    return merge([(label, run(**cell_kwargs)) for label, _func, cell_kwargs in cells(**kwargs)])

@@ -100,5 +100,19 @@ def run(
     }
 
 
+def cells(device: str = "hdd", **kwargs):
+    """Parallelisable cells: one full run per scheduler."""
+    return [
+        (name, "run", dict(scheduler=name, device=device, **kwargs))
+        for name in ("block", "split")
+    ]
+
+
+def merge(pairs, **kwargs) -> Dict[str, Dict]:
+    return dict(pairs)
+
+
 def run_comparison(device: str = "hdd", **kwargs) -> Dict[str, Dict]:
-    return {name: run(scheduler=name, device=device, **kwargs) for name in ("block", "split")}
+    return merge(
+        [(label, run(**cell_kwargs)) for label, _func, cell_kwargs in cells(device=device, **kwargs)]
+    )

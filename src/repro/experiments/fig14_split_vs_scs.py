@@ -15,18 +15,35 @@ from repro.experiments.isolation import SIX_WORKLOADS, run_pair
 from repro.units import MB
 
 
-def run(
+def cells(
+    rate_limit: float = 1 * MB,
+    duration: float = 15.0,
+    workloads=SIX_WORKLOADS,
+    **kwargs,
+):
+    """Parallelisable cells: one run_pair per (scheduler, B workload)."""
+    return [
+        (f"{kind}/{workload}", "repro.experiments.isolation:run_pair",
+         dict(scheduler_kind=kind, b_workload=workload, rate_limit=rate_limit,
+              duration=duration, **kwargs))
+        for kind in ("scs", "split")
+        for workload in workloads
+    ]
+
+
+def merge(
+    pairs,
     rate_limit: float = 1 * MB,
     duration: float = 15.0,
     workloads=SIX_WORKLOADS,
     **kwargs,
 ) -> Dict:
-    """Returns per-workload A and B throughput for both schedulers."""
     results: Dict = {"workloads": list(workloads), "rate_limit_mb": rate_limit / MB}
+    ordered = iter(pairs)
     for kind in ("scs", "split"):
         a_series, b_series = [], []
-        for workload in workloads:
-            cell = run_pair(kind, workload, rate_limit, duration=duration, **kwargs)
+        for _workload in workloads:
+            cell = next(ordered)[1]
             a_series.append(cell["a_mbps"])
             b_series.append(cell["b_mbps"])
         results[f"{kind}_a_mbps"] = a_series
@@ -42,3 +59,15 @@ def run(
     results["read_mem_speedup"] = ratio("read-mem")
     results["write_mem_speedup"] = ratio("write-mem")
     return results
+
+
+def run(
+    rate_limit: float = 1 * MB,
+    duration: float = 15.0,
+    workloads=SIX_WORKLOADS,
+    **kwargs,
+) -> Dict:
+    """Returns per-workload A and B throughput for both schedulers."""
+    cell_list = cells(rate_limit=rate_limit, duration=duration, workloads=workloads, **kwargs)
+    pairs = [(label, run_pair(**cell_kwargs)) for label, _func, cell_kwargs in cell_list]
+    return merge(pairs, rate_limit=rate_limit, duration=duration, workloads=workloads, **kwargs)

@@ -71,14 +71,29 @@ def run_cell(
     return {"a_mbps": tracker.rate(until=env.now) / MB}
 
 
+def cells(thread_counts: List[int] = (1, 32, 256), workloads=WORKLOADS, **kwargs):
+    """Parallelisable cells: one simulation per (workload, thread count)."""
+    return [
+        (f"{workload}/{count}", "run_cell",
+         dict(workload=workload, b_threads=count, **kwargs))
+        for workload in workloads
+        for count in thread_counts
+    ]
+
+
+def merge(pairs, thread_counts: List[int] = (1, 32, 256), workloads=WORKLOADS, **kwargs) -> Dict:
+    results: Dict = {"threads": list(thread_counts)}
+    ordered = iter(pairs)
+    for workload in workloads:
+        results[workload] = [next(ordered)[1]["a_mbps"] for _count in thread_counts]
+    return results
+
+
 def run(
     thread_counts: List[int] = (1, 32, 256),
     workloads=WORKLOADS,
     **kwargs,
 ) -> Dict:
-    results: Dict = {"threads": list(thread_counts)}
-    for workload in workloads:
-        results[workload] = [
-            run_cell(workload, count, **kwargs)["a_mbps"] for count in thread_counts
-        ]
-    return results
+    cell_list = cells(thread_counts=thread_counts, workloads=workloads, **kwargs)
+    pairs = [(label, run_cell(**cell_kwargs)) for label, _func, cell_kwargs in cell_list]
+    return merge(pairs, thread_counts=thread_counts, workloads=workloads, **kwargs)

@@ -65,14 +65,39 @@ def run_cell(
     }
 
 
-def run(
+def cells(
+    sleeps: List[float] = (0.0, 0.002, 0.008, 0.032),
+    filesystems=("ext4", "xfs"),
+    **kwargs,
+):
+    """Parallelisable cells: one simulation per (filesystem, sleep)."""
+    return [
+        (f"{fs_name}/{sleep}", "run_cell", dict(fs_name=fs_name, sleep=sleep, **kwargs))
+        for fs_name in filesystems
+        for sleep in sleeps
+    ]
+
+
+def merge(
+    pairs,
     sleeps: List[float] = (0.0, 0.002, 0.008, 0.032),
     filesystems=("ext4", "xfs"),
     **kwargs,
 ) -> Dict:
     results: Dict = {"sleeps_ms": [1000 * s for s in sleeps]}
+    ordered = iter(pairs)
     for fs_name in filesystems:
-        cells = [run_cell(fs_name, sleep, **kwargs) for sleep in sleeps]
-        results[f"{fs_name}_a_mbps"] = [c["a_mbps"] for c in cells]
-        results[f"{fs_name}_creates_per_sec"] = [c["b_creates_per_sec"] for c in cells]
+        fs_cells = [next(ordered)[1] for _sleep in sleeps]
+        results[f"{fs_name}_a_mbps"] = [c["a_mbps"] for c in fs_cells]
+        results[f"{fs_name}_creates_per_sec"] = [c["b_creates_per_sec"] for c in fs_cells]
     return results
+
+
+def run(
+    sleeps: List[float] = (0.0, 0.002, 0.008, 0.032),
+    filesystems=("ext4", "xfs"),
+    **kwargs,
+) -> Dict:
+    cell_list = cells(sleeps=sleeps, filesystems=filesystems, **kwargs)
+    pairs = [(label, run_cell(**cell_kwargs)) for label, _func, cell_kwargs in cell_list]
+    return merge(pairs, sleeps=sleeps, filesystems=filesystems, **kwargs)

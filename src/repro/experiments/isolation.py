@@ -104,20 +104,40 @@ def run_pair(
     }
 
 
-def run_sweep(
+def sweep_cells(
     scheduler_kind: str,
     run_sizes: List[int],
     rate_limit: float,
     modes: Tuple[str, ...] = ("read", "write"),
     **kwargs,
+):
+    """Cells of a Figures 6/13/16 sweep: one per (mode, run size).
+
+    Returned in the same (label, func, kwargs) form the parallel runner
+    consumes; ``func`` is module-qualified because the cell body lives
+    here rather than in the figure modules.
+    """
+    return [
+        (f"{mode}/{run_bytes}", "repro.experiments.isolation:_run_pattern_cell",
+         dict(scheduler_kind=scheduler_kind, mode=mode, run_bytes=run_bytes,
+              rate_limit=rate_limit, **kwargs))
+        for mode in modes
+        for run_bytes in run_sizes
+    ]
+
+
+def merge_sweep(
+    pairs,
+    run_sizes: List[int],
+    modes: Tuple[str, ...] = ("read", "write"),
 ) -> Dict:
-    """Figures 6/13/16: B does R-byte runs (reads and writes); report
-    A's throughput per workload and its standard deviation."""
+    """Reassemble ordered (label, cell) pairs into run_sweep's output."""
     a_rates: Dict[str, List[float]] = {mode: [] for mode in modes}
     b_rates: Dict[str, List[float]] = {mode: [] for mode in modes}
+    ordered = iter(pairs)
     for mode in modes:
-        for run_bytes in run_sizes:
-            cell = _run_pattern_cell(scheduler_kind, mode, run_bytes, rate_limit, **kwargs)
+        for _run_bytes in run_sizes:
+            _label, cell = next(ordered)
             a_rates[mode].append(cell["a_mbps"])
             b_rates[mode].append(cell["b_mbps"])
     all_a = [rate for series in a_rates.values() for rate in series]
@@ -128,6 +148,22 @@ def run_sweep(
         "a_stdev_mb": statistics.pstdev(all_a),
         "a_mean_mb": statistics.mean(all_a),
     }
+
+
+def run_sweep(
+    scheduler_kind: str,
+    run_sizes: List[int],
+    rate_limit: float,
+    modes: Tuple[str, ...] = ("read", "write"),
+    **kwargs,
+) -> Dict:
+    """Figures 6/13/16: B does R-byte runs (reads and writes); report
+    A's throughput per workload and its standard deviation."""
+    cell_list = sweep_cells(scheduler_kind, run_sizes, rate_limit, modes=modes, **kwargs)
+    pairs = [
+        (label, _run_pattern_cell(**cell_kwargs)) for label, _func, cell_kwargs in cell_list
+    ]
+    return merge_sweep(pairs, run_sizes, modes=modes)
 
 
 def _run_pattern_cell(

@@ -1,0 +1,221 @@
+"""Parallel experiment runner: fan independent cells across cores.
+
+Every figure of the paper decomposes into *cells* — independent
+(workload, scheduler, parameter) simulations that share nothing but
+code.  Each cell builds its own :class:`~repro.sim.core.Environment`
+and seeds its own RNG streams, so cells can run in any order, in any
+process, and produce byte-identical results.
+
+An experiment module opts into cell-level fan-out by defining::
+
+    def cells(**overrides):
+        # ordered list of (label, func, kwargs); func is an attribute
+        # name in this module, or "package.module:name" for helpers
+        # that live elsewhere (e.g. the shared isolation sweep).
+        return [("cfq", "run", {"scheduler": "cfq"}), ...]
+
+    def merge(pairs, **overrides):
+        # pairs is [(label, result), ...] in cells() order; must
+        # rebuild exactly what run()/run_comparison() would return.
+        return dict(pairs)
+
+Modules without ``cells()`` run as a single opaque cell (the whole
+``run_comparison``/``run`` call), which still parallelises across
+experiments in ``run-all``.
+
+Determinism rules:
+
+- results are merged in **cell declaration order**, never completion
+  order, so ``--jobs 1`` and ``--jobs N`` emit identical JSON;
+- the session :class:`~repro.faults.FaultPlan` is re-installed inside
+  every worker process (``--fault-*`` flags apply under fan-out), and
+  each cell drains its own fault summaries, which are concatenated in
+  cell order — again matching the sequential order of stack creation.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.experiments import EXPERIMENTS, common
+
+
+class Cell(NamedTuple):
+    """One schedulable unit of an experiment."""
+
+    experiment: str  # experiment id, e.g. "fig15"
+    label: str  # human-readable cell key, e.g. "read-seq/32"
+    module: str  # module owning the experiment
+    func: str  # attribute in *module*, or "pkg.mod:name"
+    kwargs: Dict[str, Any]
+
+
+class ExperimentResult(NamedTuple):
+    """Merged outcome of one experiment's cells."""
+
+    result: Any  # what run()/run_comparison() would have returned
+    faults: List[Dict]  # fault summaries, in stack-creation order
+    seconds: float  # summed cell wall-clock (serial-equivalent time)
+
+
+def call_cell(default_module: str, func: str, kwargs: Dict[str, Any]) -> Any:
+    """Resolve and invoke a cell function by name."""
+    if ":" in func:
+        module_name, func_name = func.split(":", 1)
+    else:
+        module_name, func_name = default_module, func
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)(**kwargs)
+
+
+def experiment_cells(key: str, overrides: Optional[Dict[str, Any]] = None) -> List[Cell]:
+    """The ordered cell list for one experiment id."""
+    try:
+        module_name, _title = EXPERIMENTS[key]
+    except KeyError:
+        raise ValueError(f"unknown experiment {key!r}") from None
+    module = importlib.import_module(module_name)
+    overrides = dict(overrides or {})
+    cells_fn = getattr(module, "cells", None)
+    if cells_fn is None:
+        func = "run_comparison" if hasattr(module, "run_comparison") else "run"
+        return [Cell(key, key, module_name, func, overrides)]
+    return [
+        Cell(key, label, module_name, func, kwargs)
+        for label, func, kwargs in cells_fn(**overrides)
+    ]
+
+
+def merge_cell_results(
+    key: str, overrides: Optional[Dict[str, Any]], cells: List[Cell], results: List[Any]
+) -> Any:
+    """Reassemble cell results into the experiment's canonical output."""
+    module_name, _title = EXPERIMENTS[key]
+    module = importlib.import_module(module_name)
+    merge_fn = getattr(module, "merge", None)
+    if merge_fn is None:
+        if len(results) != 1:  # pragma: no cover - cells() without merge()
+            raise RuntimeError(f"{key} produced {len(results)} cells but defines no merge()")
+        return results[0]
+    pairs = list(zip([cell.label for cell in cells], results))
+    return merge_fn(pairs, **(overrides or {}))
+
+
+def _worker_init(fault_spec) -> None:
+    """Process-pool initialiser: re-install the session fault plan.
+
+    Workers are fresh interpreters (or forks taken before any plan was
+    installed), so without this the ``--fault-*`` flags would silently
+    stop applying under ``--jobs N``.
+    """
+    if fault_spec is not None:
+        plan, seed = fault_spec
+        common.set_default_fault_plan(plan, seed)
+
+
+def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
+    """Run one cell and drain the fault summaries its stacks produced."""
+    started = time.perf_counter()
+    result = call_cell(default_module, func, kwargs)
+    faults = common.drain_fault_summaries()
+    return result, faults, time.perf_counter() - started
+
+
+def execute_cells(
+    cells: List[Cell],
+    jobs: int = 1,
+    fault_plan=None,
+    fault_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Tuple[Any, List[Dict], float]]:
+    """Execute *cells*, returning ``(result, faults, seconds)`` per cell.
+
+    Results are returned in declaration order regardless of completion
+    order.  ``jobs <= 1`` runs inline (no pool, no pickling); a cell
+    failure propagates either way.
+    """
+    fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
+    if jobs <= 1 or len(cells) <= 1:
+        _worker_init(fault_spec)
+        try:
+            out = []
+            for cell in cells:
+                if progress is not None:
+                    progress(f"running {cell.experiment}:{cell.label} ...")
+                out.append(_execute_cell(cell.module, cell.func, cell.kwargs))
+            return out
+        finally:
+            if fault_spec is not None:
+                common.clear_default_fault_plan()
+
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(fault_spec,)
+    ) as pool:
+        futures = [
+            pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
+            for cell in cells
+        ]
+        out = []
+        for cell, future in zip(cells, futures):
+            if progress is not None:
+                progress(f"waiting {cell.experiment}:{cell.label} ...")
+            out.append(future.result())
+        return out
+
+
+def run_experiments(
+    requests: Iterable[Tuple[str, Optional[Dict[str, Any]]]],
+    jobs: int = 1,
+    fault_plan=None,
+    fault_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run many experiments' cells through one shared worker pool.
+
+    *requests* is an ordered iterable of ``(experiment id, overrides)``.
+    Returns ``{id: ExperimentResult}`` with insertion order matching the
+    request order — merged per experiment from cells executed across the
+    whole batch.
+    """
+    requests = [(key, dict(overrides or {})) for key, overrides in requests]
+    plan: List[Tuple[str, Dict[str, Any], List[Cell]]] = []
+    all_cells: List[Cell] = []
+    for key, overrides in requests:
+        cells = experiment_cells(key, overrides)
+        plan.append((key, overrides, cells))
+        all_cells.extend(cells)
+
+    outcomes = execute_cells(
+        all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed, progress=progress
+    )
+
+    merged: Dict[str, ExperimentResult] = {}
+    cursor = 0
+    for key, overrides, cells in plan:
+        chunk = outcomes[cursor : cursor + len(cells)]
+        cursor += len(cells)
+        results = [result for result, _faults, _seconds in chunk]
+        faults = [summary for _result, cell_faults, _s in chunk for summary in cell_faults]
+        seconds = sum(s for _r, _f, s in chunk)
+        merged[key] = ExperimentResult(
+            merge_cell_results(key, overrides, cells, results), faults, seconds
+        )
+    return merged
+
+
+def run_experiment(
+    key: str,
+    overrides: Optional[Dict[str, Any]] = None,
+    jobs: int = 1,
+    fault_plan=None,
+    fault_seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExperimentResult:
+    """Run one experiment, fanning its cells across *jobs* workers."""
+    return run_experiments(
+        [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
+        fault_seed=fault_seed, progress=progress,
+    )[key]

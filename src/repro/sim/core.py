@@ -3,15 +3,17 @@
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, List, Optional, Tuple
 
-from repro.sim.events import Event, Timeout
+# URGENT/NORMAL live in repro.sim.events (the fused scheduling paths
+# need them there); re-exported here for backwards compatibility.
+from repro.sim.events import Event, NORMAL, Timeout, URGENT
 from repro.sim.process import Process
 
-#: Queue priorities: urgent events (process initialisation, interrupts)
-#: run before normal events scheduled for the same instant.
-URGENT = 0
-NORMAL = 1
+#: Processed callback lists are recycled through a bounded per-
+#: environment pool; beyond this many spares, lists are simply dropped.
+_CB_POOL_MAX = 1024
 
 
 class StopSimulation(Exception):
@@ -33,10 +35,24 @@ class Environment:
     *second* throughout the storage simulation.
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_cb_pool",
+        "active_process",
+        "_halted",
+        "_halt_reason",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
+        #: Recycled callback lists (see Event.__init__): the dispatch
+        #: loop returns each processed event's emptied list here so the
+        #: next event allocates nothing.
+        self._cb_pool: List[list] = []
         self.active_process: Optional[Process] = None
         self._halted = False
         self._halt_reason: Any = None
@@ -71,8 +87,25 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers after *delay* seconds."""
-        return Timeout(self, delay, value)
+        """Create an event that triggers after *delay* seconds.
+
+        Fused fast path: ``yield env.timeout(d)`` happens once per
+        simulated tick, so the Timeout is built inline (no constructor
+        frame) with a pooled callback list and a direct heap push.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        pool = self._cb_pool
+        event.callbacks = pool.pop() if pool else []
+        event.defused = False
+        event.delay = delay
+        event._ok = True
+        event._value = value
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, NORMAL, self._eid, event))
+        return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process running *generator*."""
@@ -83,13 +116,20 @@ class Environment:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the next event; advance the clock to its time."""
+        """Process the next event; advance the clock to its time.
+
+        The debug-friendly single-step API: :meth:`run` inlines this
+        loop for speed, so changes here must be mirrored there.
+        """
         try:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
         callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return  # cancelled while queued: sweep without processing
+
         for callback in callbacks:
             callback(event)
 
@@ -100,11 +140,16 @@ class Environment:
             exc = event._value
             raise exc
 
+        callbacks.clear()
+        if len(self._cb_pool) < _CB_POOL_MAX:
+            self._cb_pool.append(callbacks)
+
     def run(self, until: Any = None) -> Any:
         """Run until *until* (a time, an event, or exhaustion).
 
         - ``until`` is None: run until no events remain.
-        - ``until`` is a number: run until the clock reaches it.
+        - ``until`` is a number: run until the clock reaches it; a
+          target equal to the current time is a no-op.
         - ``until`` is an Event: run until it triggers; returns its value.
 
         A halted environment (see :meth:`halt`) returns immediately.
@@ -113,8 +158,10 @@ class Environment:
             return self._halt_reason
         if until is not None and not isinstance(until, Event):
             at = float(until)
-            if at <= self._now:
-                raise ValueError(f"until ({at}) must be in the future (now={self._now})")
+            if at < self._now:
+                raise ValueError(f"until ({at}) is in the past (now={self._now})")
+            if at == self._now:
+                return None  # zero-length advance: nothing to do
             until = Event(self)
             until._ok = True
             until._value = None
@@ -125,9 +172,38 @@ class Environment:
                 return until._value
             until.callbacks.append(_stop_simulation)
 
+        # The hot dispatch loop: step() inlined with the heap, pop, and
+        # callback-list pool hoisted into locals.  Events whose
+        # callbacks are gone (cancel()) are swept without processing.
+        queue = self._queue
+        pool = self._cb_pool
+        pop = heappop
         try:
             while not self._halted:
-                self.step()
+                try:
+                    entry = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self._now = entry[0]
+                event = entry[3]
+
+                callbacks = event.callbacks
+                if callbacks is None:
+                    continue  # lazily-swept cancelled event
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    # The overwhelmingly common case: one waiter.
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+
+                if event._ok or event.defused:
+                    callbacks.clear()
+                    if len(pool) < _CB_POOL_MAX:
+                        pool.append(callbacks)
+                else:
+                    raise event._value
             return self._halt_reason
         except StopSimulation as stop:
             return stop.value

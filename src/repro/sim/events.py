@@ -9,10 +9,19 @@ exception is thrown into it if the event failed.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Environment
+
+#: Queue priorities: urgent events (process initialisation, interrupts)
+#: run before normal events scheduled for the same instant.  Defined
+#: here (rather than in :mod:`repro.sim.core`, which re-exports them)
+#: so the fused scheduling fast paths below can use them without an
+#: import cycle.
+URGENT = 0
+NORMAL = 1
 
 
 class Interrupt(Exception):
@@ -36,11 +45,21 @@ class Event:
     Callbacks are ``f(event)`` callables run when the environment
     processes the event.  ``succeed``/``fail`` trigger the event; a
     triggered event is immutable.
+
+    Events are the single most-allocated object in the simulation, so
+    the class is slotted and the callback list is recycled through the
+    environment's pool (see :attr:`Environment._cb_pool`) instead of
+    being allocated fresh per event.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        pool = env._cb_pool
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = (
+            pool.pop() if pool else []
+        )
         self._value: Any = PENDING
         self._ok: bool = True
         #: Set when a failed event's exception was delivered somewhere.
@@ -69,11 +88,15 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        # Fused fast path for env.schedule(self): succeed() dominates
+        # event scheduling, so skip the method call and push directly.
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -86,6 +109,19 @@ class Event:
         self._value = exception
         self.env.schedule(self)
         return self
+
+    def cancel(self) -> None:
+        """Lazily discard this event: nobody wants its callbacks any more.
+
+        The event keeps its slot in the environment's heap, but the run
+        loop sweeps it on pop without executing callbacks (cheaper than
+        eagerly removing it, which would need an O(n) heap search).  Only
+        cancel an event you know has no live subscribers — e.g. the
+        losing timer of an ``AnyOf(timer, kick)`` race.  A failed event
+        is defused by cancellation, never raised.
+        """
+        self.defused = True
+        self.callbacks = None
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event.
@@ -111,16 +147,28 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay."""
+    """An event that triggers after a fixed delay.
+
+    ``yield env.timeout(d)`` is the single hottest operation in the
+    simulation, so construction is fully fused: no ``super().__init__``
+    or ``env.schedule`` calls, a pooled callback list, and one direct
+    heap push.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
+        self.defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -129,16 +177,24 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediately-scheduled event that starts a new process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: Any):
-        super().__init__(env)
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self.callbacks.append(process._resume)
+        self.defused = False
         self._ok = True
         self._value = None
-        env.schedule(self, priority=0)
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, self))
 
 
 class ConditionValue:
     """Mapping of the events that triggered a condition to their values."""
+
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable[Event]):
         self.events = list(events)
@@ -177,6 +233,8 @@ class Condition(Event):
     ``evaluate(events, count)`` receives the watched events and the number
     that have triggered so far.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -229,12 +287,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when all of the given events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Triggers when any of the given events has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, Condition.any_events, events)

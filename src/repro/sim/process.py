@@ -23,6 +23,8 @@ class Process(Event):
     on each other by yielding a Process.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, env: "Environment", generator: Generator, name: Optional[str] = None):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
@@ -74,26 +76,28 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with *event*'s outcome."""
-        self.env.active_process = self
+        env = self.env
+        env.active_process = self
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
-                self.env.active_process = None
+                env.active_process = None
                 self.succeed(getattr(exc, "value", None))
                 return
             except BaseException as exc:
                 self._target = None
-                self.env.active_process = None
+                env.active_process = None
                 self._ok = False
                 self._value = exc
-                self.env.schedule(self)
+                env.schedule(self)
                 return
 
             if not isinstance(next_event, Event):
@@ -102,16 +106,17 @@ class Process(Event):
                 )
                 continue
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Event not yet processed: subscribe and go to sleep.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
 
             # Event already processed: continue immediately with its value.
             event = next_event
 
-        self.env.active_process = None
+        env.active_process = None
 
     def __repr__(self) -> str:
         return f"<Process {self.name} alive={self.is_alive}>"

@@ -27,6 +27,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -88,6 +90,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """Request with a priority (lower value is served first)."""
+
+    __slots__ = ("priority", "time")
 
     def __init__(self, resource: "PriorityResource", priority: int = 0):
         self.priority = priority

@@ -1,0 +1,79 @@
+"""Parallel experiment runner: determinism and plumbing.
+
+The runner's contract is that fanning an experiment's cells across
+worker processes changes wall-clock time and nothing else: the merged
+result (and any fault summaries) must be byte-identical to a serial
+run.  These tests pin that contract at reduced simulation scale.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import _jsonable
+from repro.experiments import runner
+from repro.faults import FaultPlan
+from repro.units import KB, MB
+
+#: Reduced-scale overrides per experiment: big enough to exercise real
+#: scheduling, small enough for a unit-test budget.
+SCALED = {
+    "fig01": {"duration": 8.0, "burst_at": 2.0, "burst_bytes": 16 * MB,
+              "reader_file": 48 * MB},
+    "fig13": {"run_sizes": [16 * KB, 1 * MB], "duration": 2.0},
+    "fig17": {"sleeps": [0.0, 0.008], "duration": 2.0},
+}
+
+
+def _fingerprint(outcome) -> str:
+    return json.dumps(
+        {"result": _jsonable(outcome.result), "faults": _jsonable(outcome.faults)},
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize("key", sorted(SCALED))
+def test_serial_and_parallel_results_identical(key):
+    serial = runner.run_experiment(key, SCALED[key], jobs=1)
+    parallel = runner.run_experiment(key, SCALED[key], jobs=4)
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def test_parallel_fault_summaries_match_serial():
+    plan = FaultPlan(read_error_prob=0.02)
+    overrides = {"duration": 2.0}
+    serial = runner.run_experiment(
+        "fig12", overrides, jobs=1, fault_plan=plan, fault_seed=7)
+    parallel = runner.run_experiment(
+        "fig12", overrides, jobs=2, fault_plan=plan, fault_seed=7)
+    assert serial.faults, "fault plan should produce summaries"
+    assert _fingerprint(serial) == _fingerprint(parallel)
+
+
+def test_experiment_run_matches_runner_serial():
+    """The module's own run() and the runner agree (same cells+merge)."""
+    from repro.experiments import fig13_split_token_ext4 as fig13
+
+    direct = fig13.run(**SCALED["fig13"])
+    routed = runner.run_experiment("fig13", SCALED["fig13"], jobs=1)
+    assert _jsonable(direct) == _jsonable(routed.result)
+
+
+def test_cells_fallback_for_module_without_cells():
+    """Experiments that expose no cells() degrade to a single cell."""
+    cells = runner.experiment_cells("fig03", {"duration": 1.0})
+    assert len(cells) == 1
+    assert cells[0].experiment == "fig03"
+
+
+def test_call_cell_resolves_local_and_colon_paths():
+    from repro.devices import HDD, SSD
+
+    local = runner.call_cell("repro.experiments.common", "make_device", {"kind": "hdd"})
+    assert isinstance(local, HDD)
+    remote = runner.call_cell(
+        "repro.experiments.fig13_split_token_ext4",
+        "repro.experiments.common:make_device",
+        {"kind": "ssd"},
+    )
+    assert isinstance(remote, SSD)

@@ -25,7 +25,18 @@ def test_run_until_past_time_rejected():
     env = Environment()
     env.run(until=5)
     with pytest.raises(ValueError):
-        env.run(until=5)
+        env.run(until=4)
+
+
+def test_run_until_now_is_noop():
+    """A zero-length advance returns immediately instead of raising."""
+    env = Environment()
+    env.run(until=5)
+    assert env.run(until=5) is None
+    assert env.now == 5
+    # The run_for(env, 0.0) idiom from experiments/common.py.
+    env.run(until=env.now + 0.0)
+    assert env.now == 5
 
 
 def test_timeout_fires_at_right_time():

@@ -58,7 +58,7 @@ def test_export_subcommand(tmp_path, capsys, monkeypatch):
     )
     monkeypatch.setattr(
         export_mod, "run_experiment",
-        lambda key, overrides=None: {
+        lambda key, overrides=None, jobs=1: {
             "experiment": key, "title": "Figure T", "wall_seconds": 0.0,
             "result": {"ok": True},
         },

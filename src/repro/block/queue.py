@@ -23,6 +23,13 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.block.request import BlockRequest
 from repro.devices.base import DeviceError
+from repro.obs.bus import (
+    BlockAdd,
+    BlockComplete,
+    BlockDispatch,
+    DeviceStart,
+    StackBus,
+)
 from repro.units import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,6 +45,44 @@ class RequestTimeout(DeviceError):
     retryable = True
 
 
+class _CompletionListeners:
+    """List-like shim mapping the legacy ``completion_listeners`` API
+    onto :class:`~repro.obs.bus.BlockComplete` subscriptions.
+
+    Callers historically did ``queue.completion_listeners.append(fn)``
+    with ``fn(request)``; each append now subscribes an adapter on the
+    stack bus, so legacy observers and new bus subscribers share one
+    dispatch path (and one ordering).
+    """
+
+    __slots__ = ("_bus", "_entries")
+
+    def __init__(self, bus: StackBus):
+        self._bus = bus
+        self._entries: List[tuple] = []  # (fn, unsubscribe)
+
+    def append(self, fn: Callable[[BlockRequest], None]) -> None:
+        unsub = self._bus.subscribe(BlockComplete, lambda event: fn(event.request))
+        self._entries.append((fn, unsub))
+
+    def remove(self, fn: Callable[[BlockRequest], None]) -> None:
+        for i, (listener, unsub) in enumerate(self._entries):
+            if listener == fn:
+                unsub()
+                del self._entries[i]
+                return
+        raise ValueError(f"{fn!r} is not a registered completion listener")
+
+    def __iter__(self):
+        return iter(fn for fn, _ in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+
 class BlockQueue:
     """Request queue between the elevator and a device."""
 
@@ -50,6 +95,7 @@ class BlockQueue:
         max_retries: int = 3,
         retry_backoff: float = 0.01,
         request_timeout: Optional[float] = 30.0,
+        bus: Optional[StackBus] = None,
     ):
         self.env = env
         self.device = device
@@ -61,13 +107,26 @@ class BlockQueue:
         self.retry_backoff = retry_backoff
         #: Abort an attempt whose service time exceeds this (None = off).
         self.request_timeout = request_timeout
+        #: The stack event bus (shared when assembled by the OS).
+        self.bus = bus if bus is not None else StackBus()
+        self._sub_add = self.bus.listeners(BlockAdd)
+        self._sub_dispatch = self.bus.listeners(BlockDispatch)
+        self._sub_complete = self.bus.listeners(BlockComplete)
+        self._sub_devstart = self.bus.listeners(DeviceStart)
+        attach = getattr(device, "attach_bus", None)
+        if attach is not None:
+            attach(self.bus, env)
         scheduler.attach(self)
         self._kick_event = env.event()
         self._kick_pending = False
         self._dispatcher = env.process(self._dispatch_loop(), name="block-dispatcher")
         #: Observers called with each completed request (metrics etc.),
         #: including permanently-failed ones (check ``request.failed``).
-        self.completion_listeners: List[Callable[[BlockRequest], None]] = []
+        #: A legacy shim over BlockComplete bus subscriptions.
+        self.completion_listeners = _CompletionListeners(self.bus)
+        #: BlockTracers attached to this queue (for drop reporting in
+        #: fault_summary; tracers register themselves).
+        self.tracers: List = []
         self.in_flight: Optional[BlockRequest] = None
         self.submitted = 0
         self.completed = 0
@@ -82,6 +141,8 @@ class BlockQueue:
         request.submit_time = self.env.now
         request.done = self.env.event()
         self.submitted += 1
+        if self._sub_add:
+            self.bus.publish(BlockAdd(self.env.now, request))
         self.scheduler.add_request(request)
         self.kick()
         return request.done
@@ -109,6 +170,8 @@ class BlockQueue:
                 continue
 
             request.dispatch_time = self.env.now
+            if self._sub_dispatch:
+                self.bus.publish(BlockDispatch(self.env.now, request))
             self.in_flight = request
             yield from self._serve(request)
             self.in_flight = None
@@ -128,8 +191,8 @@ class BlockQueue:
                 for page in request.pages:
                     page.write_completed()
                 self.scheduler.request_completed(request)
-            for listener in self.completion_listeners:
-                listener(request)
+            if self._sub_complete:
+                self.bus.publish(BlockComplete(self.env.now, request))
             if not request.done.triggered:
                 request.done.succeed(request)
 
@@ -140,6 +203,13 @@ class BlockQueue:
             # Asynchronous device (e.g. a VM disk backed by a host
             # file): service time emerges from the backing stack.
             request.attempts = 1
+            if self._sub_devstart:
+                self.bus.publish(
+                    DeviceStart(
+                        self.env.now, self.device.name, request.op,
+                        request.block, request.nblocks, 1,
+                    )
+                )
             yield from serve(request)
             return
 
@@ -147,6 +217,13 @@ class BlockQueue:
         while True:
             attempt += 1
             request.attempts = attempt
+            if self._sub_devstart:
+                self.bus.publish(
+                    DeviceStart(
+                        self.env.now, self.device.name, request.op,
+                        request.block, request.nblocks, attempt,
+                    )
+                )
             error: Optional[DeviceError] = None
             try:
                 duration = self.device.service_time(

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
 
 from repro.cache.page import Page, PageKey
 from repro.core.tags import EMPTY_CAUSES, CauseSet, TagManager
+from repro.obs.bus import PageCleaned, PageDirtied, PageFreed, StackBus
 from repro.units import GB, PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -18,10 +19,15 @@ class PageCache:
     """An LRU page cache with dirty-page accounting and split hooks.
 
     The split framework's memory-level hooks (`buffer-dirty`,
-    `buffer-free`, Table 2) fire from here.  Hooks are attached by the
-    :class:`~repro.core.framework.SplitFramework`; a stack running a
-    pure block-level scheduler has none, which is exactly the
-    information gap the paper describes.
+    `buffer-free`, Table 2) fire from here — published as
+    :class:`~repro.obs.bus.PageDirtied` / :class:`PageFreed` events on
+    the stack bus, so any number of subscribers (the installed split
+    scheduler, span builders, tests) observe them.  The legacy
+    single-slot ``buffer_dirty_hook`` / ``buffer_free_hook`` attributes
+    remain as properties layered over one bus subscription each.  A
+    stack running a pure block-level scheduler has no memory
+    subscribers, which is exactly the information gap the paper
+    describes.
     """
 
     def __init__(
@@ -29,6 +35,7 @@ class PageCache:
         env: "Environment",
         tags: TagManager,
         memory_bytes: int = 16 * GB,
+        bus: Optional[StackBus] = None,
     ):
         if memory_bytes < PAGE_SIZE:
             raise ValueError("cache must hold at least one page")
@@ -45,14 +52,64 @@ class PageCache:
         self._dirty: "OrderedDict[PageKey, None]" = OrderedDict()
         self._dirty_by_inode: Dict[int, "OrderedDict[PageKey, None]"] = {}
         self.dirty_bytes = 0
-        #: Memory-level hook points (set by the split framework).
-        self.buffer_dirty_hook = None  # f(page, old_causes) -> None
-        self.buffer_free_hook = None  # f(page) -> None
+        #: The stack event bus (shared with the rest of the stack when
+        #: assembled by the OS; private when constructed standalone).
+        self.bus = bus if bus is not None else StackBus()
+        # Live subscriber lists, cached so the hot paths pay one
+        # truthiness check when nobody listens (zero-cost-off).
+        self._sub_dirtied = self.bus.listeners(PageDirtied)
+        self._sub_cleaned = self.bus.listeners(PageCleaned)
+        self._sub_freed = self.bus.listeners(PageFreed)
+        # Legacy single-slot hook state (see the properties below).
+        self._buffer_dirty_hook = None
+        self._buffer_dirty_unsub = None
+        self._buffer_free_hook = None
+        self._buffer_free_unsub = None
         # Counters
         self.hits = 0
         self.misses = 0
         self.overwrites = 0
         self.evictions = 0
+
+    # -- legacy hook compatibility ------------------------------------------
+
+    @property
+    def buffer_dirty_hook(self):
+        """Single-slot ``f(page, old_causes)`` shim over the bus.
+
+        Assigning subscribes the callable to :class:`PageDirtied`
+        events (replacing a previously assigned hook, preserving the
+        historical one-slot semantics); other subscribers attached
+        directly to the bus are unaffected.
+        """
+        return self._buffer_dirty_hook
+
+    @buffer_dirty_hook.setter
+    def buffer_dirty_hook(self, fn) -> None:
+        if self._buffer_dirty_unsub is not None:
+            self._buffer_dirty_unsub()
+            self._buffer_dirty_unsub = None
+        self._buffer_dirty_hook = fn
+        if fn is not None:
+            self._buffer_dirty_unsub = self.bus.subscribe(
+                PageDirtied, lambda event: fn(event.page, event.old_causes)
+            )
+
+    @property
+    def buffer_free_hook(self):
+        """Single-slot ``f(page)`` shim over :class:`PageFreed` events."""
+        return self._buffer_free_hook
+
+    @buffer_free_hook.setter
+    def buffer_free_hook(self, fn) -> None:
+        if self._buffer_free_unsub is not None:
+            self._buffer_free_unsub()
+            self._buffer_free_unsub = None
+        self._buffer_free_hook = fn
+        if fn is not None:
+            self._buffer_free_unsub = self.bus.subscribe(
+                PageFreed, lambda event: fn(event.page)
+            )
 
     # -- queries ----------------------------------------------------------
 
@@ -155,8 +212,8 @@ class PageCache:
                 page.redirtied = True
         self.tags.account_tag(page, page.causes)
 
-        if self.buffer_dirty_hook is not None:
-            self.buffer_dirty_hook(page, old_causes)
+        if self._sub_dirtied:
+            self.bus.publish(PageDirtied(self.env.now, page, old_causes))
         return page
 
     def page_cleaned(self, page: Page) -> None:
@@ -171,6 +228,8 @@ class PageCache:
         page.causes = EMPTY_CAUSES
         if page.key in self._pages:
             self._clean_lru[page.key] = None
+        if self._sub_cleaned:
+            self.bus.publish(PageCleaned(self.env.now, page))
         self._maybe_evict()
 
     def free(self, key: PageKey) -> Optional[Page]:
@@ -187,8 +246,8 @@ class PageCache:
             self._discard_dirty(key)
             self.dirty_bytes -= PAGE_SIZE
             self.tags.release_tag(page)
-            if self.buffer_free_hook is not None:
-                self.buffer_free_hook(page)
+            if self._sub_freed:
+                self.bus.publish(PageFreed(self.env.now, page))
         return page
 
     def _discard_dirty(self, key: PageKey) -> None:

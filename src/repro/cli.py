@@ -91,6 +91,7 @@ def cmd_run(args) -> int:
         jobs=_resolve_jobs(args.jobs),
         fault_plan=plan,
         fault_seed=args.fault_seed,
+        trace=args.trace is not None,
     )
     result = outcome.result
     if plan is not None:
@@ -98,9 +99,22 @@ def cmd_run(args) -> int:
             result = dict(result, _faults=outcome.faults)
         else:
             result = {"result": result, "_faults": outcome.faults}
+    if args.trace is not None:
+        _write_trace(args.trace, args.experiment, outcome.spans)
     json.dump(_jsonable(result), sys.stdout, indent=2)
     print()
     return 0
+
+
+def _write_trace(trace_dir: str, experiment: str, spans) -> None:
+    """Write one experiment's span stream as JSONL under *trace_dir*."""
+    from pathlib import Path
+
+    from repro.obs import write_spans
+
+    path = Path(trace_dir) / f"{experiment}.spans.jsonl"
+    count = write_spans(path, spans)
+    print(f"# wrote {count} spans to {path}", file=sys.stderr)
 
 
 def cmd_run_all(args) -> int:
@@ -124,9 +138,14 @@ def cmd_run_all(args) -> int:
         jobs=jobs,
         fault_plan=plan,
         fault_seed=args.fault_seed,
+        trace=args.trace is not None,
         progress=lambda line: print(line, file=sys.stderr),
     )
     elapsed = time.perf_counter() - started
+
+    if args.trace is not None:
+        for key in keys:
+            _write_trace(args.trace, key, outcomes[key].spans)
 
     combined: Dict[str, Any] = {}
     for key in keys:
@@ -208,6 +227,12 @@ def main(argv=None) -> int:
              "processes (0 = one per core; results are byte-identical "
              "to --jobs 1)",
     )
+    run_parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="attach per-request lifecycle tracing and write "
+             "<experiment>.spans.jsonl to DIR (inspect with "
+             "`python -m repro trace-report DIR`)",
+    )
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -229,8 +254,26 @@ def main(argv=None) -> int:
         help="write per-experiment JSON + REPORT.md to DIR instead of "
              "printing combined JSON to stdout",
     )
+    all_parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="attach lifecycle tracing; writes one spans.jsonl per experiment",
+    )
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
+
+    report_parser = sub.add_parser(
+        "trace-report",
+        help="summarize span JSONL files written by `run --trace`",
+    )
+    report_parser.add_argument(
+        "trace_path",
+        help="a spans.jsonl file, or a directory of <experiment>.spans.jsonl",
+    )
+    report_parser.add_argument(
+        "--by-cause", action="store_true",
+        help="additionally break each stage down per cause task",
+    )
+    report_parser.set_defaults(func=cmd_trace_report)
 
     export_parser = sub.add_parser("export", help="run experiments, write JSON + report")
     export_parser.add_argument("out_dir", help="directory for <id>.json files and REPORT.md")
@@ -246,6 +289,42 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def cmd_trace_report(args) -> int:
+    """Validate span files and print per-stage latency breakdowns."""
+    from pathlib import Path
+
+    from repro.obs import SpanSchemaError, format_report, load_spans
+
+    path = Path(args.trace_path)
+    if path.is_dir():
+        files = sorted(path.glob("*.spans.jsonl"))
+        if not files:
+            print(f"no *.spans.jsonl files in {path}", file=sys.stderr)
+            return 2
+    elif path.exists():
+        files = [path]
+    else:
+        print(f"no such file or directory: {path}", file=sys.stderr)
+        return 2
+
+    first = True
+    for file in files:
+        try:
+            spans = load_spans(file)
+        except SpanSchemaError as exc:
+            print(f"invalid span file: {exc}", file=sys.stderr)
+            return 1
+        if not first:
+            print()
+        first = False
+        title = file.name.replace(".spans.jsonl", "")
+        try:
+            print(format_report(spans, title=title, by_cause=args.by_cause))
+        except BrokenPipeError:  # e.g. `trace-report out/ | head`
+            return 0
+    return 0
 
 
 def cmd_export(args) -> int:

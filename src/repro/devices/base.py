@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.bus import DeviceDone, StackBus
 from repro.units import PAGE_SIZE
 
 
@@ -65,6 +66,21 @@ class Device:
         self.name = name
         self.stats = DeviceStats()
         self._last_block_end: Optional[int] = None
+        # Stack bus plumbing (set by attach_bus when the block queue
+        # adopts this device); until then events are silently skipped.
+        self._bus: Optional[StackBus] = None
+        self._bus_clock = None
+        self._sub_done: list = []
+
+    def attach_bus(self, bus: StackBus, clock) -> None:
+        """Adopt the stack bus; *clock* supplies ``.now`` timestamps.
+
+        Composite devices override this to forward to their members so
+        every physical device in the stack reports on the same bus.
+        """
+        self._bus = bus
+        self._bus_clock = clock
+        self._sub_done = bus.listeners(DeviceDone)
 
     @property
     def capacity_bytes(self) -> int:
@@ -89,6 +105,10 @@ class Device:
         else:
             raise ValueError(f"unknown op {op!r}")
         self.stats.busy_time += duration
+        if self._sub_done:
+            self._bus.publish(
+                DeviceDone(self._bus_clock.now, self.name, op, nblocks, duration)
+            )
 
     def _check_bounds(self, block: int, nblocks: int) -> None:
         """Reject malformed requests.

@@ -34,6 +34,12 @@ class RAID0(Device):
         self.members = members
         self.stripe_blocks = stripe_blocks
 
+    def attach_bus(self, bus, clock) -> None:
+        """Adopt the bus on the array and every member device."""
+        super().attach_bus(bus, clock)
+        for member in self.members:
+            member.attach_bus(bus, clock)
+
     def _locate(self, block: int):
         """Map an array block to (member index, member block)."""
         stripe = block // self.stripe_blocks
@@ -91,6 +97,11 @@ class JitteryDevice(Device):
         self.spike_duration = spike_duration
         self._rng = random.Random(seed)
         self.spikes = 0
+
+    def attach_bus(self, bus, clock) -> None:
+        """Adopt the bus on the wrapper and the wrapped device."""
+        super().attach_bus(bus, clock)
+        self.inner.attach_bus(bus, clock)
 
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         duration = self.inner.service_time(op, block, nblocks)

@@ -16,6 +16,51 @@ from repro.units import GB, MB
 _default_fault_plan = None
 #: BlockQueues built while a fault plan was active (for reporting).
 _fault_queues: List = []
+#: Session-wide tracing: when True, every stack built by build_stack
+#: gets a SpanBuilder attached to its bus.  Off by default, in which
+#: case no bus subscriber exists and the stack is byte-identical to an
+#: untraced one (events are never even constructed).
+_trace_enabled = False
+#: SpanBuilders attached while tracing was enabled, in stack-creation
+#: order (the order drain_spans concatenates).
+_span_builders: List = []
+
+
+def enable_tracing() -> None:
+    """Attach a SpanBuilder to every stack built until disabled.
+
+    Like the fault session, enabling starts a fresh trace session:
+    builders from a previous session are forgotten.
+    """
+    global _trace_enabled
+    _trace_enabled = True
+    _span_builders.clear()
+
+
+def disable_tracing() -> None:
+    """Stop attaching span builders and forget tracked ones."""
+    global _trace_enabled
+    _trace_enabled = False
+    _span_builders.clear()
+
+
+def tracing_enabled() -> bool:
+    """Is the session trace flag set?"""
+    return _trace_enabled
+
+
+def drain_spans() -> List[Dict]:
+    """Spans of every traced stack built so far, in creation order.
+
+    Builders are detached and forgotten, so consecutive cells in one
+    process never report each other's spans.
+    """
+    spans: List[Dict] = []
+    for builder in _span_builders:
+        spans.extend(builder.spans)
+        builder.close()
+    _span_builders.clear()
+    return spans
 
 
 def set_default_fault_plan(plan, seed: int = 0) -> None:
@@ -72,11 +117,15 @@ def reset_id_counters() -> None:
     """
     from repro.block.request import BlockRequest
     from repro.fs.inode import Inode
+    from repro.fs.journal import Transaction
     from repro.proc import Task
 
     Task._pids = itertools.count(1)
     BlockRequest._ids = itertools.count(1)
     Inode._ids = itertools.count(1)
+    # Transaction ids label journal spans; resetting keeps span output
+    # identical whether a stack runs first or fifth in a batch.
+    Transaction._tids = itertools.count(1)
 
 
 def build_stack(
@@ -100,6 +149,10 @@ def build_stack(
     fault-injecting proxy; otherwise the stack is byte-identical to the
     fault-free one.
     """
+    if isinstance(scheduler, str):
+        from repro.schedulers import make_scheduler
+
+        scheduler = make_scheduler(scheduler)
     reset_id_counters()
     env = Environment()
     dev = make_device(device)
@@ -126,6 +179,10 @@ def build_stack(
     if injector is not None:
         injector.arm_power_loss()
         _fault_queues.append(machine.block_queue)
+    if _trace_enabled:
+        from repro.obs import SpanBuilder
+
+        _span_builders.append(SpanBuilder.attach(machine))
     return env, machine
 
 

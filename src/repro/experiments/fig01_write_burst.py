@@ -12,7 +12,7 @@ from typing import Dict
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import TimeSeries
-from repro.schedulers import AFQ, CFQ
+from repro.schedulers import make_scheduler
 from repro.units import MB
 from repro.workloads import prefill_file, random_write_burst, sequential_reader
 
@@ -49,9 +49,9 @@ def run(
     B finished dirtying."""
     """One run; returns the reader's per-second series and summaries."""
     if scheduler == "cfq":
-        sched = CFQ()
+        sched = make_scheduler("cfq")
     elif scheduler == "split":
-        sched = AFQ()
+        sched = make_scheduler("afq")
     else:
         raise ValueError(f"scheduler must be 'cfq' or 'split', got {scheduler!r}")
 

@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import LatencyRecorder
-from repro.schedulers import BlockDeadline
+from repro.schedulers import make_scheduler
 from repro.units import KB, MB, PAGE_SIZE
 from repro.workloads import fsync_appender, prefill_file
 
@@ -42,7 +42,9 @@ def run(
     """Returns A's mean/p95 fsync latency for each B flush size."""
     results = {"sizes": list(sizes), "mean_ms": [], "p95_ms": []}
     for nbytes in sizes:
-        scheduler = BlockDeadline(read_deadline=block_deadline, write_deadline=block_deadline)
+        scheduler = make_scheduler(
+            "block-deadline", read_deadline=block_deadline, write_deadline=block_deadline
+        )
         env, machine = build_stack(scheduler=scheduler, device="hdd")
         setup = machine.spawn("setup")
 

@@ -11,7 +11,7 @@ from typing import Dict, List
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import Noop, SplitNoop
+from repro.schedulers import make_scheduler
 from repro.units import GB, KB, MB, PAGE_SIZE
 from repro.workloads import prefill_file
 
@@ -32,10 +32,10 @@ def _random_io_thread(machine, task, path, duration, tracker, rng):
 
 def run(thread_counts: List[int] = (1, 10, 100), duration: float = 10.0) -> Dict:
     results = {"threads": list(thread_counts), "block_mbps": [], "split_mbps": []}
-    for key, scheduler_factory in (("block_mbps", Noop), ("split_mbps", SplitNoop)):
+    for key, scheduler_name in (("block_mbps", "noop"), ("split_mbps", "split-noop")):
         for threads in thread_counts:
             env, machine = build_stack(
-                scheduler=scheduler_factory(), device="ssd", memory_bytes=256 * MB
+                scheduler=make_scheduler(scheduler_name), device="ssd", memory_bytes=256 * MB
             )
             setup = machine.spawn("setup")
 

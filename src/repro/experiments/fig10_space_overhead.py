@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.cache.writeback import WritebackConfig
 from repro.experiments.common import build_stack, run_for
-from repro.schedulers import SplitToken
+from repro.schedulers import make_scheduler
 from repro.units import GB, MB
 from repro.workloads import sequential_writer
 
@@ -37,7 +37,7 @@ def run(
             dirty_ratio=ratio,
         )
         env, machine = build_stack(
-            scheduler=SplitToken(),
+            scheduler=make_scheduler("split-token"),
             device="hdd",
             memory_bytes=memory_bytes,
             writeback_config=config,

@@ -12,7 +12,7 @@ from typing import Dict
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker, deviation_from_ideal
-from repro.schedulers import AFQ, CFQ
+from repro.schedulers import make_scheduler
 from repro.units import GB, KB, MB
 from repro.workloads import (
     prefill_file,
@@ -26,11 +26,9 @@ IDEAL = {p: 8 - p for p in range(8)}
 
 
 def _make(scheduler: str):
-    if scheduler == "cfq":
-        return CFQ()
-    if scheduler == "afq":
-        return AFQ()
-    raise ValueError(f"scheduler must be 'cfq' or 'afq', got {scheduler!r}")
+    if scheduler not in ("cfq", "afq"):
+        raise ValueError(f"scheduler must be 'cfq' or 'afq', got {scheduler!r}")
+    return make_scheduler(scheduler)
 
 
 def _collect(trackers, env) -> Dict:

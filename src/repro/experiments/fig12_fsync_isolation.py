@@ -14,7 +14,7 @@ from typing import Dict
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import LatencyRecorder
-from repro.schedulers import BlockDeadline, SplitDeadline
+from repro.schedulers import make_scheduler
 from repro.units import KB, MB, PAGE_SIZE
 from repro.workloads import fsync_appender, prefill_file
 
@@ -52,12 +52,14 @@ def run(
 ) -> Dict:
     settings = TABLE3[device]
     if scheduler == "block":
-        sched = BlockDeadline(
-            read_deadline=settings["block_read"], write_deadline=settings["block_write"]
+        sched = make_scheduler(
+            "block-deadline",
+            read_deadline=settings["block_read"], write_deadline=settings["block_write"],
         )
     elif scheduler == "split":
-        sched = SplitDeadline(
-            read_deadline=settings["block_read"], fsync_deadline=settings["a_fsync"]
+        sched = make_scheduler(
+            "split-deadline",
+            read_deadline=settings["block_read"], fsync_deadline=settings["a_fsync"],
         )
     else:
         raise ValueError(f"scheduler must be 'block' or 'split', got {scheduler!r}")

@@ -12,7 +12,7 @@ from typing import Dict, List
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import SplitToken
+from repro.schedulers import make_scheduler
 from repro.units import GB, KB, MB
 from repro.workloads import (
     prefill_file,
@@ -44,7 +44,7 @@ def run_cell(
     rate_limit: float = 1 * MB,
     cores: int = 2,
 ) -> Dict:
-    scheduler = SplitToken()
+    scheduler = make_scheduler("split-token")
     # Memory is small relative to B's file so "disk" workloads really
     # hit the disk (in the paper: a 10 GB file vs 8 GB of RAM).
     env, machine = build_stack(

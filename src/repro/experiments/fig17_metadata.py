@@ -15,7 +15,7 @@ from typing import Dict, List
 from repro.experiments.common import build_stack, drive, run_for
 from repro.fs.xfs import XFS
 from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import SplitToken
+from repro.schedulers import make_scheduler
 from repro.units import GB, KB, MB
 from repro.workloads import prefill_file, sequential_reader
 
@@ -40,7 +40,7 @@ def run_cell(
     duration: float = 15.0,
     rate_limit: float = 1 * MB,
 ) -> Dict:
-    scheduler = SplitToken()
+    scheduler = make_scheduler("split-token")
     fs_class = XFS if fs_name == "xfs" else None
     env, machine = build_stack(
         scheduler=scheduler, device="hdd", memory_bytes=1 * GB, fs_class=fs_class

@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.apps.sqlite import SQLiteDB
 from repro.experiments.common import build_stack, drive, run_for
-from repro.schedulers import BlockDeadline, SplitDeadline
+from repro.schedulers import make_scheduler
 from repro.units import MB
 
 
@@ -25,9 +25,9 @@ def run_cell(
     device: str = "hdd",
 ) -> Dict:
     if scheduler == "block":
-        sched = BlockDeadline(read_deadline=0.05, write_deadline=0.5)
+        sched = make_scheduler("block-deadline", read_deadline=0.05, write_deadline=0.5)
     elif scheduler == "split":
-        sched = SplitDeadline(read_deadline=0.1, fsync_deadline=0.1)
+        sched = make_scheduler("split-deadline", read_deadline=0.1, fsync_deadline=0.1)
     else:
         raise ValueError(f"scheduler must be 'block' or 'split', got {scheduler!r}")
 

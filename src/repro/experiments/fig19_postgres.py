@@ -17,7 +17,7 @@ from typing import Dict
 
 from repro.apps.postgres import Postgres
 from repro.experiments.common import build_stack, drive
-from repro.schedulers import BlockDeadline, SplitDeadline
+from repro.schedulers import make_scheduler
 from repro.units import MB
 
 CONFIGS = ("block", "split-pdflush", "split")
@@ -32,15 +32,17 @@ def run_config(
     rate_per_worker: float = 100.0,
 ) -> Dict:
     if config == "block":
-        sched = BlockDeadline(read_deadline=0.005, write_deadline=0.005)
+        sched = make_scheduler("block-deadline", read_deadline=0.005, write_deadline=0.005)
         writeback_enabled = True
     elif config == "split-pdflush":
-        sched = SplitDeadline(
-            read_deadline=0.005, fsync_deadline=0.005, dirty_cap=32 * MB
+        sched = make_scheduler(
+            "split-deadline", read_deadline=0.005, fsync_deadline=0.005, dirty_cap=32 * MB
         )
         writeback_enabled = True
     elif config == "split":
-        sched = SplitDeadline(read_deadline=0.005, fsync_deadline=0.005, own_writeback=True)
+        sched = make_scheduler(
+            "split-deadline", read_deadline=0.005, fsync_deadline=0.005, own_writeback=True
+        )
         writeback_enabled = False
     else:
         raise ValueError(f"config must be one of {CONFIGS}, got {config!r}")

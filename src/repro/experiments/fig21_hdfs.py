@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from repro.apps.hdfs import HDFSCluster
 from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import SplitToken
+from repro.schedulers import make_scheduler
 from repro.sim import Environment
 from repro.units import GB, MB
 
@@ -33,7 +33,7 @@ def run_cell(
         workers=workers,
         replication=3,
         block_size=block_size,
-        scheduler_factory=SplitToken,
+        scheduler_factory=lambda: make_scheduler("split-token"),
         seed=seed,
     )
     cluster.set_account_limit("throttled", rate_cap)

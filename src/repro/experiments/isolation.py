@@ -25,12 +25,12 @@ SIX_WORKLOADS = ("read-mem", "read-seq", "read-rand", "write-mem", "write-seq", 
 
 
 def make_scheduler(kind: str):
-    from repro.schedulers import SCSToken, SplitToken
+    from repro.schedulers import make_scheduler as registry_make
 
     if kind == "scs":
-        return SCSToken()
+        return registry_make("scs-token")
     if kind == "split":
-        return SplitToken()
+        return registry_make("split-token")
     raise ValueError(f"scheduler must be 'scs' or 'split', got {kind!r}")
 
 

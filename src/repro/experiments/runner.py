@@ -59,6 +59,7 @@ class ExperimentResult(NamedTuple):
     result: Any  # what run()/run_comparison() would have returned
     faults: List[Dict]  # fault summaries, in stack-creation order
     seconds: float  # summed cell wall-clock (serial-equivalent time)
+    spans: List[Dict] = []  # lifecycle spans (with trace=True), cell order
 
 
 def call_cell(default_module: str, func: str, kwargs: Dict[str, Any]) -> Any:
@@ -104,24 +105,28 @@ def merge_cell_results(
     return merge_fn(pairs, **(overrides or {}))
 
 
-def _worker_init(fault_spec) -> None:
-    """Process-pool initialiser: re-install the session fault plan.
+def _worker_init(fault_spec, trace: bool = False) -> None:
+    """Process-pool initialiser: re-install the session fault plan and
+    trace flag.
 
     Workers are fresh interpreters (or forks taken before any plan was
-    installed), so without this the ``--fault-*`` flags would silently
-    stop applying under ``--jobs N``.
+    installed), so without this the ``--fault-*`` flags and ``--trace``
+    would silently stop applying under ``--jobs N``.
     """
     if fault_spec is not None:
         plan, seed = fault_spec
         common.set_default_fault_plan(plan, seed)
+    if trace:
+        common.enable_tracing()
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
-    """Run one cell and drain the fault summaries its stacks produced."""
+    """Run one cell; drain the fault summaries and spans its stacks produced."""
     started = time.perf_counter()
     result = call_cell(default_module, func, kwargs)
     faults = common.drain_fault_summaries()
-    return result, faults, time.perf_counter() - started
+    spans = common.drain_spans()
+    return result, faults, spans, time.perf_counter() - started
 
 
 def execute_cells(
@@ -129,9 +134,11 @@ def execute_cells(
     jobs: int = 1,
     fault_plan=None,
     fault_seed: int = 0,
+    trace: bool = False,
     progress: Optional[Callable[[str], None]] = None,
-) -> List[Tuple[Any, List[Dict], float]]:
-    """Execute *cells*, returning ``(result, faults, seconds)`` per cell.
+) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
+    """Execute *cells*, returning ``(result, faults, spans, seconds)``
+    per cell.
 
     Results are returned in declaration order regardless of completion
     order.  ``jobs <= 1`` runs inline (no pool, no pickling); a cell
@@ -139,7 +146,7 @@ def execute_cells(
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec)
+        _worker_init(fault_spec, trace)
         try:
             out = []
             for cell in cells:
@@ -150,9 +157,11 @@ def execute_cells(
         finally:
             if fault_spec is not None:
                 common.clear_default_fault_plan()
+            if trace:
+                common.disable_tracing()
 
     with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_worker_init, initargs=(fault_spec,)
+        max_workers=jobs, initializer=_worker_init, initargs=(fault_spec, trace)
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -171,6 +180,7 @@ def run_experiments(
     jobs: int = 1,
     fault_plan=None,
     fault_seed: int = 0,
+    trace: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -179,6 +189,11 @@ def run_experiments(
     Returns ``{id: ExperimentResult}`` with insertion order matching the
     request order — merged per experiment from cells executed across the
     whole batch.
+
+    With ``trace=True`` every stack gets a span builder and each
+    result's ``spans`` holds the lifecycle spans concatenated in cell
+    declaration order — within a cell, in stack-creation order — so the
+    merged span stream is byte-identical for any ``jobs``.
     """
     requests = [(key, dict(overrides or {})) for key, overrides in requests]
     plan: List[Tuple[str, Dict[str, Any], List[Cell]]] = []
@@ -189,7 +204,8 @@ def run_experiments(
         all_cells.extend(cells)
 
     outcomes = execute_cells(
-        all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed, progress=progress
+        all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
+        trace=trace, progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -197,11 +213,12 @@ def run_experiments(
     for key, overrides, cells in plan:
         chunk = outcomes[cursor : cursor + len(cells)]
         cursor += len(cells)
-        results = [result for result, _faults, _seconds in chunk]
-        faults = [summary for _result, cell_faults, _s in chunk for summary in cell_faults]
-        seconds = sum(s for _r, _f, s in chunk)
+        results = [result for result, _faults, _spans, _seconds in chunk]
+        faults = [summary for _r, cell_faults, _sp, _s in chunk for summary in cell_faults]
+        spans = [span for _r, _f, cell_spans, _s in chunk for span in cell_spans]
+        seconds = sum(s for _r, _f, _sp, s in chunk)
         merged[key] = ExperimentResult(
-            merge_cell_results(key, overrides, cells, results), faults, seconds
+            merge_cell_results(key, overrides, cells, results), faults, seconds, spans
         )
     return merged
 
@@ -212,10 +229,11 @@ def run_experiment(
     jobs: int = 1,
     fault_plan=None,
     fault_seed: int = 0,
+    trace: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
     return run_experiments(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
-        fault_seed=fault_seed, progress=progress,
+        fault_seed=fault_seed, trace=trace, progress=progress,
     )[key]

@@ -17,14 +17,14 @@ from typing import Dict
 
 from repro.core.framework import FRAMEWORK_PROPERTIES
 from repro.experiments.common import build_stack, drive, run_for
-from repro.schedulers import CFQ, SCSToken, SplitToken
+from repro.schedulers import make_scheduler
 from repro.units import KB, MB
 from repro.workloads import sequential_writer
 
 
 def probe_block_framework() -> Dict[str, bool]:
     """What a pure block-level scheduler can actually see and do."""
-    env, machine = build_stack(scheduler=CFQ(), device="hdd", memory_bytes=256 * MB)
+    env, machine = build_stack(scheduler=make_scheduler("cfq"), device="hdd", memory_bytes=256 * MB)
     writer = machine.spawn("app", priority=0)
     env.process(sequential_writer(machine, writer, "/f", 5.0, chunk=1 * MB))
 
@@ -47,7 +47,7 @@ def probe_block_framework() -> Dict[str, bool]:
 
 def probe_syscall_framework() -> Dict[str, bool]:
     """What an SCS-style scheduler can see and do."""
-    scheduler = SCSToken()
+    scheduler = make_scheduler("scs-token")
     env, machine = build_stack(scheduler=scheduler, device="hdd", memory_bytes=256 * MB)
     # Syscall hooks fire with the calling task: cause mapping works, and
     # calls can be delayed before the FS sees them: reordering works.
@@ -77,7 +77,7 @@ def probe_syscall_framework() -> Dict[str, bool]:
 
 def probe_split_framework() -> Dict[str, bool]:
     """The split scheduler sees all three layers."""
-    scheduler = SplitToken()
+    scheduler = make_scheduler("split-token")
     env, machine = build_stack(scheduler=scheduler, device="hdd", memory_bytes=256 * MB)
     writer = machine.spawn("app")
 

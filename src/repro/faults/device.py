@@ -25,6 +25,12 @@ class FaultyDevice(Device):
         self.inner = inner
         self.injector = injector
 
+    def attach_bus(self, bus, clock) -> None:
+        """Adopt the bus on the wrapper, the inner device, and the injector."""
+        super().attach_bus(bus, clock)
+        self.inner.attach_bus(bus, clock)
+        self.injector.attach_bus(bus, clock)
+
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         self._check_bounds(block, nblocks)
         decision = self.injector.decide(op, block, nblocks)

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, NamedTuple, Optional
 
 from repro.faults.errors import PowerLoss
 from repro.faults.plan import FaultPlan
+from repro.obs.bus import FaultInjected, StackBus
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
@@ -54,6 +55,8 @@ class FaultInjector:
         self.plan = plan
         self.stream_name = stream_name
         self._rng = streams.stream(stream_name)
+        self._bus: Optional[StackBus] = None
+        self._sub_fault: list = []
         # Counters (exposed via summary()).
         self.injected_read_errors = 0
         self.injected_write_errors = 0
@@ -61,6 +64,17 @@ class FaultInjector:
         self.injected_stalls = 0
         self.slowed_ops = 0
         self.power_lost_at: Optional[float] = None
+
+    def attach_bus(self, bus: StackBus, clock) -> None:
+        """Adopt the stack bus; injected faults publish FaultInjected."""
+        self._bus = bus
+        self._sub_fault = bus.listeners(FaultInjected)
+
+    def _publish(self, kind: str, op: str) -> None:
+        if self._sub_fault:
+            self._bus.publish(
+                FaultInjected(self.env.now, self.stream_name, kind, op)
+            )
 
     def decide(self, op: str, block: int, nblocks: int) -> FaultDecision:
         """The fate of one device operation happening now."""
@@ -71,17 +85,20 @@ class FaultInjector:
             if window.covers(now, op):
                 self.window_errors += 1
                 self._count_error(op)
+                self._publish("error", op)
                 return FaultDecision(error=True, slow_factor=1.0, extra_latency=0.0)
 
         probability = plan.error_probability(op)
         if probability > 0.0 and self._rng.random() < probability:
             self._count_error(op)
+            self._publish("error", op)
             return FaultDecision(error=True, slow_factor=1.0, extra_latency=0.0)
 
         extra = 0.0
         if plan.stall_prob > 0.0 and self._rng.random() < plan.stall_prob:
             self.injected_stalls += 1
             extra = plan.stall_duration
+            self._publish("stall", op)
 
         factor = plan.slow_factor
         for window in plan.slow_windows:
@@ -89,6 +106,7 @@ class FaultInjector:
                 factor *= window.factor
         if factor != 1.0:
             self.slowed_ops += 1
+            self._publish("slow", op)
 
         if extra == 0.0 and factor == 1.0:
             return CLEAN

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.obs.bus import BlockComplete
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.block.queue import BlockQueue
     from repro.block.request import BlockRequest
@@ -32,9 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
 class DurabilityLog:
     """Records which blocks were durably written on one block queue.
 
-    Attach before the workload starts; the log sees every completed
-    request via the queue's completion listeners and keeps the set of
-    blocks covered by successful writes.  Intended for crash/recovery
+    Attach before the workload starts; the log subscribes to the stack
+    bus's :class:`BlockComplete` events and keeps the set of blocks
+    covered by successful writes.  Intended for crash/recovery
     experiments over bounded workloads (the block set is kept exactly).
     """
 
@@ -43,7 +45,9 @@ class DurabilityLog:
         self.written: Set[int] = set()
         self.writes = 0
         self.failed_writes = 0
-        queue.completion_listeners.append(self._on_complete)
+        self._unsub = queue.bus.subscribe(
+            BlockComplete, lambda event: self._on_complete(event.request)
+        )
 
     def _on_complete(self, request: "BlockRequest") -> None:
         if not request.is_write:

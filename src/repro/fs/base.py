@@ -68,6 +68,8 @@ class FileSystem:
         self.env = env
         self.cache = cache
         self.block_queue = block_queue
+        #: The stack event bus, shared with the block layer.
+        self.bus = block_queue.bus
         self.tags = tags
         self.process_table = process_table
 

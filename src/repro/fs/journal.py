@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Set
 from repro.block.request import WRITE, BlockRequest
 from repro.core.tags import CauseSet
 from repro.faults.errors import EIO
+from repro.obs.bus import JournalCheckpoint, JournalTxnCommit, JournalTxnOpen
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fs.base import FileSystem
@@ -115,7 +116,11 @@ class Journal:
         self.checkpoint_delay = checkpoint_delay
         #: The jbd2 kernel task (a proxy when committing).
         self.task = fs.process_table.spawn(f"jbd2-{fs.name}", kernel=True)
-        self.running = Transaction(env)
+        self.bus = fs.bus
+        self._sub_txn_open = self.bus.listeners(JournalTxnOpen)
+        self._sub_txn_commit = self.bus.listeners(JournalTxnCommit)
+        self._sub_checkpoint = self.bus.listeners(JournalCheckpoint)
+        self.running = self._open_transaction()
         self.committing: Optional[Transaction] = None
         self._journal_head = area_start
         #: Metadata blocks committed but not yet checkpointed in place,
@@ -132,6 +137,27 @@ class Journal:
         self.checkpoint_errors = 0
         env.process(self._commit_timer(), name=f"jbd2-timer-{fs.name}")
         env.process(self._checkpointer(), name=f"jbd2-checkpoint-{fs.name}")
+
+    def _open_transaction(self) -> Transaction:
+        """Open a fresh running transaction (publishing TxnOpen)."""
+        txn = Transaction(self.env)
+        if self._sub_txn_open:
+            self.bus.publish(JournalTxnOpen(self.env.now, txn.tid))
+        return txn
+
+    def _publish_commit(self, txn: Transaction, causes: CauseSet, nblocks: int, aborted: bool) -> None:
+        if self._sub_txn_commit:
+            self.bus.publish(
+                JournalTxnCommit(
+                    self.env.now,
+                    txn.tid,
+                    txn.commit_start if txn.commit_start is not None else self.env.now,
+                    causes,
+                    nblocks,
+                    len(txn.ordered_inodes),
+                    aborted,
+                )
+            )
 
     # -- joining the running transaction ------------------------------------
 
@@ -199,7 +225,7 @@ class Journal:
         txn.state = Transaction.COMMITTING
         txn.commit_start = self.env.now
         self.committing = txn
-        self.running = Transaction(self.env)
+        self.running = self._open_transaction()
 
         try:
             # Step 1: ordered data — flush dirty pages of every inode
@@ -251,6 +277,7 @@ class Journal:
             self._checkpoint_queue.append(
                 CheckpointEntry(self.env.now, txn.tid, set(txn.metadata_blocks), causes)
             )
+            self._publish_commit(txn, causes, nblocks, aborted=False)
             txn.done.succeed(txn)
         finally:
             self.committing = None
@@ -275,6 +302,7 @@ class Journal:
         txn.state = Transaction.ABORTED
         txn.commit_end = self.env.now
         self.fs.tags.release_tag(txn)
+        self._publish_commit(txn, txn.joiners, 0, aborted=True)
         # Release waiters; they observe ABORTED and raise EIO themselves
         # (failing the event would kill kernel daemons waiting on it).
         txn.done.succeed(txn)
@@ -357,6 +385,14 @@ class Journal:
                         requeue[entry.tid] = retry
                     retry.blocks.add(block)
                 self._checkpoint_queue.extend(requeue.values())
+                if self._sub_checkpoint:
+                    for entry in due:
+                        failed = len(requeue.get(entry.tid).blocks) if entry.tid in requeue else 0
+                        self.bus.publish(
+                            JournalCheckpoint(
+                                self.env.now, entry.tid, len(entry.blocks) - failed
+                            )
+                        )
 
 
 class LogicalJournal(Journal):

@@ -5,12 +5,21 @@
 analogue).  Both are cheap enough to leave attached during experiments
 and are used by tests to assert *why* a scheduler behaved as it did,
 not just the resulting throughput.
+
+Both are pure subscribers on the stack's
+:class:`~repro.obs.bus.StackBus` — the tracer consumes
+:class:`~repro.obs.bus.BlockComplete`, iostat consumes
+:class:`~repro.obs.bus.DeviceDone` — so attaching them never perturbs
+the simulation, and they compose with any number of other observers
+(span builders, tests, the split scheduler's own hooks).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional
 
+from repro.obs.bus import BlockComplete, DeviceDone
 from repro.units import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,49 +46,104 @@ class TraceRecord(NamedTuple):
 
 
 class BlockTracer:
-    """Records completed requests from one block queue."""
+    """Records completed requests from one block queue.
 
-    def __init__(self, queue: "BlockQueue", capacity: Optional[int] = None):
+    With a *capacity*, ``keep`` selects which records survive once the
+    buffer fills: ``"first"`` (the default, matching the historical
+    behaviour) stops recording and counts the overflow in
+    :attr:`dropped`; ``"last"`` keeps a ring of the most recent
+    *capacity* records — the right mode for long runs where the
+    interesting requests are the latest ones.  Either way
+    :attr:`dropped` counts every record that is no longer retained, and
+    :func:`~repro.metrics.recorders.fault_summary` surfaces it.
+    """
+
+    def __init__(
+        self,
+        queue: "BlockQueue",
+        capacity: Optional[int] = None,
+        keep: str = "first",
+    ):
+        if keep not in ("first", "last"):
+            raise ValueError(f"keep must be 'first' or 'last', got {keep!r}")
+        if keep == "last" and capacity is None:
+            raise ValueError("keep='last' requires a capacity")
         self.queue = queue
         self.capacity = capacity
-        self.records: List[TraceRecord] = []
+        self.keep = keep
+        self._ring: Optional[deque] = (
+            deque(maxlen=capacity) if keep == "last" else None
+        )
+        self._records: List[TraceRecord] = []
         self.dropped = 0
-        queue.completion_listeners.append(self._on_complete)
+        self._unsub = queue.bus.subscribe(
+            BlockComplete, lambda event: self._on_complete(event.request)
+        )
+        queue.tracers.append(self)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Retained records, oldest first (a list in either mode)."""
+        if self._ring is not None:
+            return list(self._ring)
+        return self._records
+
+    def close(self) -> None:
+        """Stop recording (retained records stay available)."""
+        self._unsub()
+        if self in self.queue.tracers:
+            self.queue.tracers.remove(self)
 
     def _on_complete(self, request: "BlockRequest") -> None:
-        if self.capacity is not None and len(self.records) >= self.capacity:
+        if self._ring is None and (
+            self.capacity is not None and len(self._records) >= self.capacity
+        ):
             self.dropped += 1
             return
-        self.records.append(
-            TraceRecord(
-                time=request.complete_time,
-                op=request.op,
-                block=request.block,
-                nblocks=request.nblocks,
-                latency=request.complete_time - request.submit_time,
-                queue_wait=request.dispatch_time - request.submit_time,
-                submitter=request.submitter.name,
-                causes=frozenset(request.causes),
-                sync=request.sync,
-                metadata=request.metadata,
-                status=request.status,
-            )
+        if self._ring is not None and len(self._ring) == self.capacity:
+            self.dropped += 1  # the oldest record is about to fall out
+        record = TraceRecord(
+            time=request.complete_time,
+            op=request.op,
+            block=request.block,
+            nblocks=request.nblocks,
+            latency=request.complete_time - request.submit_time,
+            queue_wait=request.dispatch_time - request.submit_time,
+            submitter=request.submitter.name,
+            causes=frozenset(request.causes),
+            sync=request.sync,
+            metadata=request.metadata,
+            status=request.status,
         )
+        if self._ring is not None:
+            self._ring.append(record)
+        else:
+            self._records.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._ring) if self._ring is not None else len(self._records)
+
+    def summary(self) -> Dict[str, object]:
+        """Record retention counters for reports."""
+        return {
+            "records": len(self),
+            "dropped": self.dropped,
+            "keep": self.keep,
+            "capacity": self.capacity,
+        }
 
     # -- analyses -----------------------------------------------------------
 
     def sequential_fraction(self) -> float:
         """Fraction of requests contiguous with their predecessor."""
-        if len(self.records) < 2:
+        records = self.records
+        if len(records) < 2:
             return 1.0
         sequential = 0
-        for prev, cur in zip(self.records, self.records[1:]):
+        for prev, cur in zip(records, records[1:]):
             if cur.block == prev.block + prev.nblocks:
                 sequential += 1
-        return sequential / (len(self.records) - 1)
+        return sequential / (len(records) - 1)
 
     def bytes_by_cause(self) -> Dict[int, float]:
         """Completed bytes attributed to each pid (split evenly)."""
@@ -116,26 +180,38 @@ class BlockTracer:
 
 
 class IOStat:
-    """Samples device busy fraction over fixed windows."""
+    """Samples device busy fraction over fixed windows.
+
+    Busy time is accumulated from :class:`~repro.obs.bus.DeviceDone`
+    events for the queue's (outermost) device — the same increments the
+    device's own ``stats.busy_time`` sees — so samples are identical to
+    the historical polling implementation while sharing the one bus
+    dispatch path.
+    """
 
     def __init__(self, queue: "BlockQueue", interval: float = 1.0):
         self.queue = queue
         self.interval = interval
         self.times: List[float] = []
         self.utilization: List[float] = []
-        self._last_busy = queue.device.stats.busy_time
+        self._busy = 0.0
+        self._last_busy = 0.0
+        device_name = queue.device.name
+        def on_done(event: DeviceDone) -> None:
+            if event.device == device_name:
+                self._busy += event.duration
+        self._unsub = queue.bus.subscribe(DeviceDone, on_done)
         queue.env.process(self._sampler(), name="iostat")
 
     def _sampler(self):
         env = self.queue.env
         while True:
             yield env.timeout(self.interval)
-            busy = self.queue.device.stats.busy_time
             self.times.append(env.now)
             self.utilization.append(
-                min(1.0, (busy - self._last_busy) / self.interval)
+                min(1.0, (self._busy - self._last_busy) / self.interval)
             )
-            self._last_busy = busy
+            self._last_busy = self._busy
 
     def mean_utilization(self, since: float = 0.0) -> float:
         values = [u for t, u in zip(self.times, self.utilization) if t >= since]

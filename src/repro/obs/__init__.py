@@ -1,0 +1,66 @@
+"""`repro.obs`: the cross-layer instrumentation bus and lifecycle spans.
+
+One :class:`StackBus` per simulated stack carries typed events from
+every layer (syscall, cache, journal, block, device, faults); a
+:class:`SpanBuilder` correlates them — via cause tags and request ids —
+into per-I/O lifecycle spans, and :func:`latency_breakdown` aggregates
+spans into the syscall/cache/journal/queue/device stage statistics the
+``trace-report`` CLI prints.  Zero-cost when nothing subscribes.
+"""
+
+from repro.obs.bus import (
+    EVENT_TYPES,
+    BlockAdd,
+    BlockComplete,
+    BlockDispatch,
+    DeviceDone,
+    DeviceStart,
+    FaultInjected,
+    JournalCheckpoint,
+    JournalTxnCommit,
+    JournalTxnOpen,
+    PageCleaned,
+    PageDirtied,
+    PageFreed,
+    StackBus,
+    SyscallEnter,
+    SyscallReturn,
+    WritebackBatch,
+)
+from repro.obs.export import (
+    SpanSchemaError,
+    format_report,
+    load_spans,
+    validate_span,
+    write_spans,
+)
+from repro.obs.span import STAGES, SpanBuilder, bytes_by_cause, latency_breakdown
+
+__all__ = [
+    "EVENT_TYPES",
+    "STAGES",
+    "BlockAdd",
+    "BlockComplete",
+    "BlockDispatch",
+    "DeviceDone",
+    "DeviceStart",
+    "FaultInjected",
+    "JournalCheckpoint",
+    "JournalTxnCommit",
+    "JournalTxnOpen",
+    "PageCleaned",
+    "PageDirtied",
+    "PageFreed",
+    "SpanBuilder",
+    "SpanSchemaError",
+    "StackBus",
+    "SyscallEnter",
+    "SyscallReturn",
+    "WritebackBatch",
+    "bytes_by_cause",
+    "format_report",
+    "latency_breakdown",
+    "load_spans",
+    "validate_span",
+    "write_spans",
+]

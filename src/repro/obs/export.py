@@ -1,0 +1,209 @@
+"""Span JSONL export, schema validation, and the trace-report text.
+
+Spans are written one JSON object per line (``<experiment>.spans.jsonl``)
+so long traces stream without holding the file in memory and external
+tools (jq, pandas) can consume them directly.  :func:`load_spans`
+validates every row against :data:`SPAN_SCHEMA` — the contract the CI
+``trace-smoke`` step enforces — and :func:`format_report` renders the
+per-stage latency breakdown with cause-set attribution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.span import STAGES, latency_breakdown
+
+#: Required fields (name -> allowed types) per span kind.  ``None`` in
+#: the tuple marks a field that may be null (JSON ``null``).
+SPAN_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    "io": {
+        "id": (int,),
+        "op": (str,),
+        "block": (int,),
+        "nblocks": (int,),
+        "bytes": (int,),
+        "submitter": (str,),
+        "submit": (int, float),
+        "complete": (int, float),
+        "queue_wait": (int, float),
+        "device_time": (int, float),
+        "cache_wait": (int, float, type(None)),
+        "status": (str,),
+        "causes": (list,),
+        "cause_names": (list,),
+    },
+    "syscall": {
+        "call": (str,),
+        "task": (str,),
+        "pid": (int,),
+        "start": (int, float),
+        "end": (int, float),
+        "duration": (int, float),
+    },
+    "journal": {
+        "tid": (int,),
+        "start": (int, float),
+        "end": (int, float),
+        "duration": (int, float),
+        "nblocks": (int,),
+        "causes": (list,),
+        "aborted": (bool,),
+    },
+    "fault": {
+        "time": (int, float),
+        "stream": (str,),
+        "fault": (str,),
+        "op": (str,),
+    },
+}
+
+
+class SpanSchemaError(ValueError):
+    """A span row violated :data:`SPAN_SCHEMA`."""
+
+
+def validate_span(row: Dict[str, Any]) -> None:
+    """Raise :class:`SpanSchemaError` if *row* violates the schema."""
+    if not isinstance(row, dict):
+        raise SpanSchemaError(f"span must be an object, got {type(row).__name__}")
+    kind = row.get("kind")
+    schema = SPAN_SCHEMA.get(kind)
+    if schema is None:
+        raise SpanSchemaError(
+            f"unknown span kind {kind!r}; expected one of {sorted(SPAN_SCHEMA)}"
+        )
+    for field, types in schema.items():
+        if field not in row:
+            raise SpanSchemaError(f"{kind} span missing field {field!r}")
+        value = row[field]
+        # bool is an int subclass; reject it where int was meant.
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in types
+        ):
+            raise SpanSchemaError(
+                f"{kind} span field {field!r} has type "
+                f"{type(value).__name__}, expected {[t.__name__ for t in types]}"
+            )
+
+
+def write_spans(path, spans: Iterable[Dict[str, Any]]) -> int:
+    """Write spans as JSONL to *path*; returns the row count.
+
+    Keys are sorted and floats serialized by ``json.dumps`` defaults,
+    so identical span lists produce byte-identical files — the property
+    the serial-vs-parallel determinism tests pin.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_spans(path, validate: bool = True) -> List[Dict[str, Any]]:
+    """Read a span JSONL file, validating each row by default."""
+    spans = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SpanSchemaError(f"{path}:{lineno}: not JSON: {exc}") from None
+            if validate:
+                try:
+                    validate_span(row)
+                except SpanSchemaError as exc:
+                    raise SpanSchemaError(f"{path}:{lineno}: {exc}") from None
+            spans.append(row)
+    return spans
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _stage_table(stages: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    for stage in STAGES:
+        stats = stages[stage]
+        rows.append(
+            (
+                stage,
+                str(stats["count"]),
+                _fmt_seconds(stats["mean"]),
+                _fmt_seconds(stats["p50"]),
+                _fmt_seconds(stats["p95"]),
+                _fmt_seconds(stats["p99"]),
+            )
+        )
+    return _table(("stage", "count", "mean", "p50", "p95", "p99"), rows)
+
+
+def format_report(
+    spans: List[Dict[str, Any]], title: str = "", by_cause: bool = False
+) -> str:
+    """Render the per-stage latency breakdown and cause attribution.
+
+    With ``by_cause=True`` each cause task additionally gets its own
+    per-stage table (the aggregator's ``group_by="cause"`` view).
+    """
+    breakdown = latency_breakdown(spans, group_by="cause" if by_cause else None)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(f"{len(spans)} spans " + json.dumps(breakdown["span_counts"], sort_keys=True))
+
+    lines.append(_stage_table(breakdown["stages"]))
+
+    by_cause = breakdown["by_cause"]
+    if by_cause:
+        total = sum(by_cause.values())
+        cause_rows = [
+            (name, f"{nbytes / (1 << 20):.2f} MiB", f"{100 * nbytes / total:.1f}%")
+            for name, nbytes in sorted(
+                by_cause.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        lines.append("")
+        lines.append("cause-set attribution (completed bytes, split evenly):")
+        lines.append(_table(("cause", "bytes", "share"), cause_rows))
+
+    if by_cause:
+        for name, stages in breakdown.get("groups", {}).items():
+            lines.append("")
+            lines.append(f"-- {name} --")
+            lines.append(_stage_table(stages))
+
+    faults = sum(1 for span in spans if span.get("kind") == "fault")
+    if faults:
+        lines.append("")
+        lines.append(f"{faults} fault events recorded")
+    return "\n".join(lines)

@@ -18,13 +18,50 @@ from repro.schedulers.afq import AFQ
 from repro.schedulers.split_deadline import SplitDeadline
 from repro.schedulers.split_token import SplitToken
 
+#: Canonical name -> scheduler class.  Keys match each class's ``name``
+#: attribute; this is the single source of truth the CLI, experiments,
+#: and :func:`repro.experiments.common.build_stack` construct from.
+REGISTRY = {
+    cls.name: cls
+    for cls in (
+        Noop,
+        CFQ,
+        BlockDeadline,
+        SCSToken,
+        SplitNoop,
+        AFQ,
+        SplitDeadline,
+        SplitToken,
+    )
+}
+
+
+def make_scheduler(name: str, **kwargs):
+    """Instantiate the scheduler registered under *name*.
+
+    Keyword arguments are forwarded to the scheduler's constructor
+    (e.g. ``make_scheduler("block-deadline", read_deadline=0.05)``).
+    Unknown names raise :class:`ValueError` listing the valid choices.
+    """
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        choices = ", ".join(sorted(REGISTRY))
+        raise ValueError(
+            f"unknown scheduler {name!r}; valid choices: {choices}"
+        ) from None
+    return cls(**kwargs)
+
+
 __all__ = [
     "AFQ",
     "BlockDeadline",
     "CFQ",
     "Noop",
+    "REGISTRY",
     "SCSToken",
     "SplitDeadline",
     "SplitNoop",
     "SplitToken",
+    "make_scheduler",
 ]

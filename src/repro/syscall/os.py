@@ -28,6 +28,7 @@ from repro.core.tags import TagManager
 from repro.devices.hdd import HDD
 from repro.fs.ext4 import Ext4
 from repro.fs.inode import Inode
+from repro.obs.bus import StackBus, SyscallEnter, SyscallReturn
 from repro.proc import ProcessTable, Task
 from repro.syscall.cpu import CPU
 from repro.units import GB
@@ -92,6 +93,10 @@ class OS:
         fs_kwargs: Optional[Dict[str, Any]] = None,
     ):
         self.env = env
+        #: One stack event bus shared by every layer of this machine.
+        self.bus = StackBus()
+        self._sub_sys_enter = self.bus.listeners(SyscallEnter)
+        self._sub_sys_return = self.bus.listeners(SyscallReturn)
         self.tags = TagManager()
         self.process_table = ProcessTable()
         self.cpu = CPU(env, cores)
@@ -101,6 +106,10 @@ class OS:
             from repro.schedulers.noop import Noop
 
             scheduler = Noop()
+        elif isinstance(scheduler, str):
+            from repro.schedulers import make_scheduler
+
+            scheduler = make_scheduler(scheduler)
 
         if isinstance(scheduler, SchedulerHooks):
             self.scheduler: Optional[SchedulerHooks] = scheduler
@@ -112,8 +121,10 @@ class OS:
             raise TypeError(f"unsupported scheduler {scheduler!r}")
         self.elevator = elevator
 
-        self.block_queue = BlockQueue(env, self.device, elevator, self.process_table)
-        self.cache = PageCache(env, self.tags, memory_bytes)
+        self.block_queue = BlockQueue(
+            env, self.device, elevator, self.process_table, bus=self.bus
+        )
+        self.cache = PageCache(env, self.tags, memory_bytes, bus=self.bus)
         self.fs = fs_class(
             env, self.cache, self.block_queue, self.tags, self.process_table,
             **(fs_kwargs or {}),
@@ -139,6 +150,8 @@ class OS:
     # -- hook plumbing --------------------------------------------------------
 
     def _entry(self, task: Task, call: str, info: Dict[str, Any]):
+        if self._sub_sys_enter:
+            self.bus.publish(SyscallEnter(self.env.now, task, call, info))
         if self.scheduler is not None:
             gen = self.scheduler.syscall_entry(task, call, info)
             if gen is not None:
@@ -147,6 +160,8 @@ class OS:
     def _return(self, task: Task, call: str, info: Dict[str, Any]) -> None:
         if self.scheduler is not None:
             self.scheduler.syscall_return(task, call, info)
+        if self._sub_sys_return:
+            self.bus.publish(SyscallReturn(self.env.now, task, call, info))
 
     # -- the syscall API --------------------------------------------------------
 

@@ -139,3 +139,117 @@ def test_iostat_idle_device_reads_zero():
     iostat = IOStat(machine.block_queue, interval=0.5)
     env.run(until=3.0)
     assert iostat.mean_utilization() == 0.0
+
+
+def test_tracer_ring_mode_keeps_last_records():
+    from repro.experiments.common import reset_id_counters
+
+    reset_id_counters()
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue, capacity=3, keep="last")
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        for _ in range(4):
+            yield from handle.append(1 * MB)
+            yield from handle.fsync()
+
+    drive(env, proc())
+    assert len(tracer) == 3
+    assert tracer.dropped > 0
+    # The ring retains the MOST RECENT completions: its last record is
+    # the newest overall, and every retained record postdates the drop
+    # horizon (an uncapped tracer's tail matches exactly).
+    reset_id_counters()
+    env2, machine2 = make_os()
+    full = BlockTracer(machine2.block_queue)
+    task2 = machine2.spawn("t")
+
+    def proc2():
+        handle = yield from machine2.creat(task2, "/f")
+        for _ in range(4):
+            yield from handle.append(1 * MB)
+            yield from handle.fsync()
+
+    drive(env2, proc2())
+    assert tracer.records == full.records[-3:]
+    assert tracer.dropped == len(full.records) - 3
+
+
+def test_tracer_ring_mode_requires_capacity():
+    env, machine = make_os()
+    with pytest.raises(ValueError, match="capacity"):
+        BlockTracer(machine.block_queue, keep="last")
+    with pytest.raises(ValueError, match="keep"):
+        BlockTracer(machine.block_queue, capacity=4, keep="newest")
+
+
+def test_tracer_close_detaches():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue)
+    assert tracer in machine.block_queue.tracers
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(64 * KB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    count = len(tracer)
+    tracer.close()
+    assert tracer not in machine.block_queue.tracers
+
+    def proc2():
+        handle = yield from machine.open(task, "/f")
+        yield from handle.append(64 * KB)
+        yield from handle.fsync()
+
+    drive(env, proc2())
+    assert len(tracer) == count
+
+
+def test_fault_summary_surfaces_trace_drops():
+    from repro.metrics import fault_summary
+
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue, capacity=1)
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    summary = fault_summary(machine.block_queue)
+    assert summary["trace_records"] == 1
+    assert summary["trace_dropped"] == tracer.dropped > 0
+
+
+def test_fault_summary_without_tracer_omits_trace_keys():
+    from repro.metrics import fault_summary
+
+    env, machine = make_os()
+    summary = fault_summary(machine.block_queue)
+    assert "trace_records" not in summary
+    assert "trace_dropped" not in summary
+
+
+def test_tracer_summary_reports_retention():
+    env, machine = make_os()
+    tracer = BlockTracer(machine.block_queue, capacity=2, keep="last")
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.append(1 * MB)
+        yield from handle.fsync()
+
+    drive(env, proc())
+    summary = tracer.summary()
+    assert summary["records"] == 2
+    assert summary["dropped"] == tracer.dropped
+    assert summary["keep"] == "last"
+    assert summary["capacity"] == 2

@@ -1,0 +1,47 @@
+"""Tracing must be pure observation.
+
+Two contracts: (1) a run with tracing enabled produces byte-identical
+experiment JSON to one with the bus idle (no subscribers at all); and
+(2) the merged span stream is identical whether cells run serially or
+fanned across worker processes.
+"""
+
+import json
+
+from repro.cli import _jsonable
+from repro.experiments import runner
+from repro.obs import validate_span, write_spans
+from repro.units import KB, MB
+
+#: Reduced-scale fig13 cells: two run sizes, short duration.
+FIG13 = {"run_sizes": [16 * KB, 1 * MB], "duration": 2.0}
+
+
+def _result_fingerprint(outcome) -> str:
+    return json.dumps(_jsonable(outcome.result), sort_keys=True)
+
+
+def test_traced_result_identical_to_untraced():
+    plain = runner.run_experiment("fig13", FIG13, jobs=1)
+    traced = runner.run_experiment("fig13", FIG13, jobs=1, trace=True)
+    assert _result_fingerprint(plain) == _result_fingerprint(traced)
+    assert not plain.spans
+    assert traced.spans
+
+
+def test_spans_validate_against_schema():
+    traced = runner.run_experiment("fig13", FIG13, jobs=1, trace=True)
+    assert traced.spans
+    for span in traced.spans:
+        validate_span(span)
+
+
+def test_serial_and_parallel_spans_identical(tmp_path):
+    serial = runner.run_experiment("fig13", FIG13, jobs=1, trace=True)
+    parallel = runner.run_experiment("fig13", FIG13, jobs=2, trace=True)
+    assert serial.spans == parallel.spans
+    a, b = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+    write_spans(a, serial.spans)
+    write_spans(b, parallel.spans)
+    assert a.read_bytes() == b.read_bytes()
+    assert _result_fingerprint(serial) == _result_fingerprint(parallel)

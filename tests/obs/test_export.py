@@ -1,0 +1,115 @@
+"""Span JSONL export, schema validation, and report rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SpanSchemaError,
+    format_report,
+    load_spans,
+    validate_span,
+    write_spans,
+)
+
+IO_SPAN = {
+    "kind": "io",
+    "id": 1,
+    "op": "write",
+    "block": 10,
+    "nblocks": 4,
+    "bytes": 16384,
+    "submitter": "pdflush",
+    "submitter_pid": 2,
+    "sync": False,
+    "metadata": False,
+    "submit": 1.0,
+    "dispatch": 1.5,
+    "complete": 2.0,
+    "queue_wait": 0.5,
+    "device_time": 0.5,
+    "cache_wait": 0.25,
+    "status": "ok",
+    "attempts": 1,
+    "causes": [3],
+    "cause_names": ["writer"],
+}
+
+SYSCALL_SPAN = {
+    "kind": "syscall",
+    "call": "fsync",
+    "task": "writer",
+    "pid": 3,
+    "start": 0.0,
+    "end": 0.01,
+    "duration": 0.01,
+    "nbytes": None,
+    "causes": [3],
+    "cause_names": ["writer"],
+}
+
+
+def test_validate_accepts_known_kinds():
+    validate_span(IO_SPAN)
+    validate_span(SYSCALL_SPAN)
+
+
+def test_validate_rejects_unknown_kind():
+    with pytest.raises(SpanSchemaError, match="unknown span kind"):
+        validate_span({"kind": "mystery"})
+
+
+def test_validate_rejects_missing_field():
+    broken = dict(IO_SPAN)
+    del broken["queue_wait"]
+    with pytest.raises(SpanSchemaError, match="queue_wait"):
+        validate_span(broken)
+
+
+def test_validate_rejects_wrong_type():
+    broken = dict(IO_SPAN, bytes="lots")
+    with pytest.raises(SpanSchemaError, match="bytes"):
+        validate_span(broken)
+
+
+def test_validate_null_cache_wait_allowed():
+    validate_span(dict(IO_SPAN, cache_wait=None))
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = tmp_path / "t.spans.jsonl"
+    spans = [IO_SPAN, SYSCALL_SPAN]
+    assert write_spans(path, spans) == 2
+    loaded = load_spans(path)
+    assert loaded == spans
+
+
+def test_write_spans_is_deterministic(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_spans(a, [IO_SPAN])
+    write_spans(b, [dict(reversed(list(IO_SPAN.items())))])
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_load_rejects_corrupt_rows(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(SpanSchemaError, match="not JSON"):
+        load_spans(path)
+    path.write_text(json.dumps({"kind": "io"}) + "\n")
+    with pytest.raises(SpanSchemaError, match="missing field"):
+        load_spans(path)
+
+
+def test_format_report_renders_stages_and_causes():
+    report = format_report([IO_SPAN, SYSCALL_SPAN], title="demo")
+    assert "== demo ==" in report
+    for stage in ("syscall", "cache", "journal", "queue", "device"):
+        assert stage in report
+    assert "writer" in report
+    assert "cause-set attribution" in report
+
+
+def test_format_report_by_cause_groups():
+    report = format_report([IO_SPAN, SYSCALL_SPAN], by_cause=True)
+    assert "-- writer --" in report

@@ -43,8 +43,10 @@ def test_split_scheduler_wires_all_layers():
 
 def test_unsupported_scheduler_rejected():
     env = Environment()
-    with pytest.raises(TypeError):
+    with pytest.raises(ValueError, match="valid choices"):
         OS(env, scheduler="fifo")
+    with pytest.raises(TypeError):
+        OS(env, scheduler=object())
 
 
 def test_double_install_rejected():

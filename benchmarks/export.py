@@ -37,9 +37,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import KB, MB, OS, SSD, Environment  # noqa: E402
+from repro.block import BlockQueue, BlockRequest  # noqa: E402
+from repro.block.request import READ  # noqa: E402
 from repro.cache import PageCache, PageKey  # noqa: E402
 from repro.core.tags import TagManager  # noqa: E402
-from repro.proc import Task  # noqa: E402
+from repro.proc import ProcessTable, Task  # noqa: E402
 from repro.schedulers import Noop  # noqa: E402
 
 #: Simulated events per timing run of the event-loop bench.
@@ -136,11 +138,49 @@ def bench_cache_hit_lookup(repeats: int) -> dict:
     return {"lookups": lookups, "us_per_lookup": round(best * 1e6 / lookups, 4)}
 
 
+def bench_mq_dispatch(repeats: int) -> dict:
+    """Multi-queue dispatch engine: depth-32 SSD, small random reads.
+
+    Exercises the slot loops, kick fan-out, and outstanding-list
+    bookkeeping the blk-mq refactor added — the host-time cost per
+    request through the whole block layer at high concurrency.
+    """
+    requests = 2000
+    depth = 32
+
+    def run():
+        env = Environment()
+        table = ProcessTable()
+        queue = BlockQueue(env, SSD(), Noop(), process_table=table, queue_depth=depth)
+        task = table.spawn("io")
+
+        def submitter():
+            events = [
+                queue.submit(BlockRequest(READ, (i * 8) % 100_000, 1, task))
+                for i in range(requests)
+            ]
+            for event in events:
+                yield event
+
+        proc = env.process(submitter())
+        env.run(until=proc)
+
+    run()
+    best = _best_of(run, repeats)
+    return {
+        "requests": requests,
+        "queue_depth": depth,
+        "us_per_request": round(best * 1e6 / requests, 3),
+        "requests_per_sec": round(requests / best),
+    }
+
+
 MICROBENCHES = {
     "event_loop": bench_event_loop,
     "cached_write_syscall": bench_cached_write_syscall,
     "cache_mark_dirty": bench_cache_mark_dirty,
     "cache_hit_lookup": bench_cache_hit_lookup,
+    "mq_dispatch": bench_mq_dispatch,
 }
 
 #: Representative experiments timed for the suite wall-clock entry —
@@ -186,19 +226,39 @@ def collect(repeats: int, with_suite: bool = True, jobs: int = 1) -> dict:
     return payload
 
 
+#: Throughput metrics the --check gate watches: bench name -> rate key.
+GATED_METRICS = (
+    ("event_loop", "events_per_sec"),
+    ("mq_dispatch", "requests_per_sec"),
+)
+
+
 def check_against(baseline_path: str, current: dict, tolerance: float) -> int:
-    """Exit status for a regression gate on event-loop throughput."""
+    """Exit status for the throughput regression gates.
+
+    Gates event-loop event throughput and depth-32 dispatch-engine
+    request throughput; a gated bench missing from the baseline file is
+    skipped (older snapshots predate it).
+    """
     baseline = json.loads(Path(baseline_path).read_text())
-    base_rate = baseline["benchmarks"]["event_loop"]["events_per_sec"]
-    new_rate = current["benchmarks"]["event_loop"]["events_per_sec"]
-    floor = base_rate * (1.0 - tolerance)
-    verdict = "OK" if new_rate >= floor else "REGRESSION"
-    print(
-        f"event_loop: {new_rate:,} events/s vs baseline {base_rate:,} "
-        f"(floor {floor:,.0f}, tolerance {tolerance:.0%}) -> {verdict}",
-        file=sys.stderr,
-    )
-    return 0 if new_rate >= floor else 1
+    failed = 0
+    for name, key in GATED_METRICS:
+        base_entry = baseline["benchmarks"].get(name)
+        if base_entry is None:
+            print(f"{name}: no baseline entry, skipping gate", file=sys.stderr)
+            continue
+        base_rate = base_entry[key]
+        new_rate = current["benchmarks"][name][key]
+        floor = base_rate * (1.0 - tolerance)
+        verdict = "OK" if new_rate >= floor else "REGRESSION"
+        print(
+            f"{name}: {new_rate:,} /s vs baseline {base_rate:,} "
+            f"(floor {floor:,.0f}, tolerance {tolerance:.0%}) -> {verdict}",
+            file=sys.stderr,
+        )
+        if new_rate < floor:
+            failed += 1
+    return 0 if failed == 0 else 1
 
 
 def main(argv=None) -> int:

@@ -25,10 +25,37 @@ class BlockScheduler:
 
     def __init__(self):
         self.queue: Optional["BlockQueue"] = None
+        #: High-water mark of :meth:`service_charge`: simulated time up
+        #: to which device occupancy has already been billed.  Lets
+        #: schedulers charge wall-clock device time correctly when
+        #: several requests are outstanding (multi-queue dispatch).
+        self._charged_until = 0.0
 
     def attach(self, queue: "BlockQueue") -> None:
         """Called by the block queue when the scheduler is installed."""
         self.queue = queue
+
+    @property
+    def outstanding(self) -> int:
+        """Requests dispatched to the device and not yet completed."""
+        return self.queue.inflight_count if self.queue is not None else 0
+
+    def service_charge(self, request: "BlockRequest") -> float:
+        """Billable device seconds for a completed *request*.
+
+        The non-overlapping wall-clock union of service windows: with
+        one request outstanding this equals the request's dispatch ->
+        complete duration exactly; with several outstanding, overlap is
+        charged only once, so time budgets (CFQ slices, token-bucket
+        revisions) never bill the device for more seconds than actually
+        elapsed.  Call at most once per completion — the method advances
+        the charged high-water mark.
+        """
+        start = request.dispatch_time or 0.0
+        end = request.complete_time or 0.0
+        charged_from = start if start >= self._charged_until else self._charged_until
+        self._charged_until = max(self._charged_until, end)
+        return max(0.0, end - charged_from)
 
     # -- elevator hooks ---------------------------------------------------
 
@@ -39,6 +66,16 @@ class BlockScheduler:
     def next_request(self) -> Optional["BlockRequest"]:
         """Choose the request to dispatch now (None = nothing to do)."""
         raise NotImplementedError
+
+    def on_dispatch(self, request: "BlockRequest") -> None:
+        """A request returned by :meth:`next_request` was assigned a
+        dispatch slot and is leaving for the device.
+
+        Called once per dispatch, after ``request.dispatch_time`` and
+        ``request.slot`` are set.  The default does nothing; depth-aware
+        schedulers use it to track their own outstanding state (the
+        queue-maintained count is available via :attr:`outstanding`).
+        """
 
     def request_completed(self, request: "BlockRequest") -> None:
         """The device finished *request*."""

@@ -1,20 +1,33 @@
-"""The block request queue and dispatch engine.
+"""The block request queue and multi-queue (blk-mq style) dispatch engine.
 
-One dispatcher process pulls requests from the installed elevator and
-serves them on the device, one at a time (the device is the contended
-resource).  Completion triggers the request's ``done`` event, cleans the
-pages a write carried, performs per-cause byte accounting, and informs
-the scheduler.
+Requests pulled from the installed elevator are served on the device by
+a set of *dispatch slots* — one serve process per slot, up to
+``queue_depth`` of them — so a device with internal parallelism (an SSD
+with several flash channels, NCQ-style tagged queuing) overlaps
+requests while a single-channel disk serializes.  The effective slot
+count is ``min(queue_depth, device.channels)``: tags beyond the
+device's channels buy nothing in this model because the elevator is
+consulted at dispatch time anyway (see DESIGN.md §6).  At the default
+``queue_depth=1`` the engine is a single slot running exactly the
+classic one-request-at-a-time dispatch loop, event for event.
 
-Failure handling mirrors the kernel block layer: a retryable
-:class:`~repro.devices.base.DeviceError` from the device model is
-retried with exponential backoff; an attempt whose service time exceeds
-the per-request timeout is aborted and retried; and once retries are
-exhausted the request completes *failed* — its pages are re-dirtied
-instead of cleaned, the scheduler is told via ``request_failed``, and
-waiters observe ``request.failed`` (the filesystem turns that into
-``EIO`` at the syscall layer).  The ``done`` event always succeeds so
-kernel daemons survive I/O errors.
+Completion triggers the request's ``done`` event, cleans the pages a
+write carried, performs per-cause byte accounting, and informs the
+scheduler.
+
+Failure handling mirrors the kernel block layer and is *per slot*: a
+retryable :class:`~repro.devices.base.DeviceError` from the device
+model is retried with exponential backoff on the slot that owns the
+request; an attempt whose service time exceeds the per-request timeout
+is aborted and retried; and once retries are exhausted the request
+completes *failed* — its pages are re-dirtied instead of cleaned, the
+scheduler is told via ``request_failed``, and waiters observe
+``request.failed`` (the filesystem turns that into ``EIO`` at the
+syscall layer).  The ``done`` event always succeeds so kernel daemons
+survive I/O errors.  Each slot keeps its own error/retry/timeout
+counters (surfaced by ``fault_summary`` when more than one slot exists)
+so concurrent retries are never conflated; the queue-level totals are
+their sums.
 """
 
 from __future__ import annotations
@@ -83,8 +96,59 @@ class _CompletionListeners:
         return bool(self._entries)
 
 
+class DispatchSlot:
+    """One hardware-queue slot: state and counters of one serve process.
+
+    A slot is either idle (sleeping on its ``kick_event``) or serving
+    exactly one request (``request`` is set).  Counters are per-slot so
+    fault statistics stay attributable when several requests retry
+    concurrently; the :class:`BlockQueue` totals are the sums.
+    """
+
+    __slots__ = (
+        "index",
+        "request",
+        "kick_event",
+        "kick_pending",
+        "served",
+        "errors",
+        "retries",
+        "timeouts",
+        "failed",
+    )
+
+    def __init__(self, index: int, env: "Environment"):
+        self.index = index
+        self.request: Optional[BlockRequest] = None
+        self.kick_event = env.event()
+        self.kick_pending = False
+        self.served = 0  # requests fully completed on this slot
+        self.errors = 0  # device errors observed (per attempt)
+        self.retries = 0  # retry attempts issued
+        self.timeouts = 0  # attempts aborted by the request timeout
+        self.failed = 0  # requests failed permanently
+
+    def summary(self) -> dict:
+        """Per-slot counters in ``fault_summary`` shape."""
+        return {
+            "slot": self.index,
+            "served": self.served,
+            "failed": self.failed,
+            "device_errors": self.errors,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+        }
+
+
 class BlockQueue:
-    """Request queue between the elevator and a device."""
+    """Request queue between the elevator and a device.
+
+    ``queue_depth`` is the NCQ-style tag count: how many requests may be
+    outstanding at the device simultaneously.  The effective concurrency
+    is capped by the device's ``channels`` attribute (1 for mechanical
+    disks), so raising the depth over an HDD changes nothing — exactly
+    the degenerate single-slot engine the classic dispatch loop was.
+    """
 
     def __init__(
         self,
@@ -96,7 +160,10 @@ class BlockQueue:
         retry_backoff: float = 0.01,
         request_timeout: Optional[float] = 30.0,
         bus: Optional[StackBus] = None,
+        queue_depth: int = 1,
     ):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.env = env
         self.device = device
         self.scheduler = scheduler
@@ -117,9 +184,23 @@ class BlockQueue:
         if attach is not None:
             attach(self.bus, env)
         scheduler.attach(self)
-        self._kick_event = env.event()
-        self._kick_pending = False
-        self._dispatcher = env.process(self._dispatch_loop(), name="block-dispatcher")
+        #: Requested tag count (NCQ depth).
+        self.queue_depth = queue_depth
+        #: Effective concurrency: tags beyond the device's channels
+        #: cannot overlap, so we do not spin up slots for them.
+        self.nslots = max(1, min(queue_depth, getattr(device, "channels", 1)))
+        self.slots = [DispatchSlot(i, env) for i in range(self.nslots)]
+        #: Requests dispatched and not yet completed, in dispatch order.
+        self.outstanding: List[BlockRequest] = []
+        self._dispatchers = [
+            env.process(
+                self._slot_loop(slot),
+                name="block-dispatcher"
+                if self.nslots == 1
+                else f"block-dispatcher/{slot.index}",
+            )
+            for slot in self.slots
+        ]
         #: Observers called with each completed request (metrics etc.),
         #: including permanently-failed ones (check ``request.failed``).
         #: A legacy shim over BlockComplete bus subscriptions.
@@ -127,14 +208,29 @@ class BlockQueue:
         #: BlockTracers attached to this queue (for drop reporting in
         #: fault_summary; tracers register themselves).
         self.tracers: List = []
-        self.in_flight: Optional[BlockRequest] = None
         self.submitted = 0
         self.completed = 0
-        # Failure counters.
+        # Failure counters (totals across slots; per-slot breakdowns
+        # live on the DispatchSlot objects).
         self.errors = 0  # device errors observed (per attempt)
         self.retries = 0  # retry attempts issued
         self.timeouts = 0  # attempts aborted by the request timeout
         self.failed = 0  # requests failed permanently
+
+    @property
+    def in_flight(self) -> Optional[BlockRequest]:
+        """The oldest outstanding request (legacy single-slot view).
+
+        With one slot this is exactly the classic ``in_flight``
+        attribute; with several it is the longest-dispatched request —
+        callers needing the full set should read :attr:`outstanding`.
+        """
+        return self.outstanding[0] if self.outstanding else None
+
+    @property
+    def inflight_count(self) -> int:
+        """How many requests are dispatched and not yet completed."""
+        return len(self.outstanding)
 
     def submit(self, request: BlockRequest):
         """Enter *request* into the block layer; returns its done event."""
@@ -148,37 +244,58 @@ class BlockQueue:
         return request.done
 
     def kick(self) -> None:
-        """Wake the dispatcher (new request, or scheduler became willing)."""
-        self._kick_pending = True
-        if not self._kick_event.triggered:
-            self._kick_event.succeed()
+        """Wake the dispatch slots (new request, or scheduler willing).
 
-    def _dispatch_loop(self):
+        Slot-aware: every idle slot is woken so a batch of submissions
+        can fan out across all free slots in one pass; busy slots get
+        their pending flag set, so a kick that lands while all slots are
+        serving is re-polled the moment a slot frees instead of being
+        lost (the multi-slot generalization of the PR 1 lost-kick fix).
+        """
+        for slot in self.slots:
+            slot.kick_pending = True
+            if not slot.kick_event.triggered:
+                slot.kick_event.succeed()
+
+    def _slot_loop(self, slot: DispatchSlot):
+        env = self.env
         while True:
             # Consume any pending kick *before* polling, so a kick that
             # arrives during next_request() (or between a None poll and
             # the event swap below) re-polls instead of being dropped.
-            self._kick_pending = False
+            slot.kick_pending = False
             request = self.scheduler.next_request()
             if request is None:
-                if self._kick_pending:
+                if slot.kick_pending:
                     continue  # a kick raced in while the scheduler was polled
-                self._kick_event = self.env.event()
-                if self._kick_pending:
+                slot.kick_event = env.event()
+                if slot.kick_pending:
                     continue  # a kick hit the stale event: re-poll, don't sleep
-                yield self._kick_event
+                yield slot.kick_event
                 continue
 
-            request.dispatch_time = self.env.now
+            request.dispatch_time = env.now
+            request.slot = slot.index
             if self._sub_dispatch:
-                self.bus.publish(BlockDispatch(self.env.now, request))
-            self.in_flight = request
-            yield from self._serve(request)
-            self.in_flight = None
-            request.complete_time = self.env.now
+                self.bus.publish(
+                    BlockDispatch(
+                        env.now,
+                        request,
+                        slot.index if self.nslots > 1 else None,
+                    )
+                )
+            slot.request = request
+            self.outstanding.append(request)
+            self.scheduler.on_dispatch(request)
+            yield from self._serve(request, slot)
+            slot.request = None
+            self.outstanding.remove(request)
+            request.complete_time = env.now
+            slot.served += 1
 
             if request.failed:
                 self.failed += 1
+                slot.failed += 1
                 # Failed writes re-dirty their pages: the data never
                 # reached the device, so the cache must keep it dirty
                 # for a later flush attempt.
@@ -196,8 +313,9 @@ class BlockQueue:
             if not request.done.triggered:
                 request.done.succeed(request)
 
-    def _serve(self, request: BlockRequest):
-        """Generator: serve one request, retrying transient failures."""
+    def _serve(self, request: BlockRequest, slot: DispatchSlot):
+        """Generator: serve one request on *slot*, retrying transient
+        failures with per-slot attempt accounting."""
         serve = getattr(self.device, "serve", None)
         if serve is not None:
             # Asynchronous device (e.g. a VM disk backed by a host
@@ -225,29 +343,40 @@ class BlockQueue:
                     )
                 )
             error: Optional[DeviceError] = None
+            # The attempt occupies a device channel from here until its
+            # yield finishes (success, error latency, or timeout stall);
+            # channel-aware models read `device.active` inside
+            # service_time to price contention.
+            self.device.begin_service()
             try:
                 duration = self.device.service_time(
                     request.op, request.block, request.nblocks
                 )
             except DeviceError as exc:
                 if not exc.retryable:
+                    self.device.end_service()
                     raise  # malformed request: a bug, not a device fault
                 error = exc
                 self.errors += 1
+                slot.errors += 1
                 if exc.latency > 0:
                     yield self.env.timeout(exc.latency)
+                self.device.end_service()
             else:
                 if self.request_timeout is not None and duration > self.request_timeout:
                     # The device stalled: the timeout fires and the
                     # attempt is abandoned after request_timeout seconds.
                     self.timeouts += 1
+                    slot.timeouts += 1
                     error = RequestTimeout(
                         f"request #{request.id} timed out after "
                         f"{self.request_timeout}s (service wanted {duration:.3f}s)"
                     )
                     yield self.env.timeout(self.request_timeout)
+                    self.device.end_service()
                 else:
                     yield self.env.timeout(duration)
+                    self.device.end_service()
                     return
 
             if attempt > self.max_retries:
@@ -255,6 +384,7 @@ class BlockQueue:
                 request.error = error
                 return
             self.retries += 1
+            slot.retries += 1
             backoff = self.retry_backoff * (2 ** (attempt - 1))
             if backoff > 0:
                 yield self.env.timeout(backoff)

@@ -46,6 +46,7 @@ class BlockRequest:
         "attempts",
         "failed",
         "error",
+        "slot",
     )
 
     _ids = itertools.count(1)
@@ -89,6 +90,9 @@ class BlockRequest:
         self.deadline: Optional[float] = None
         #: Device attempts made (1 on a clean first service).
         self.attempts = 0
+        #: Dispatch slot (hardware-queue tag) that served the request;
+        #: None until dispatched.  Always 0 at queue_depth=1.
+        self.slot: Optional[int] = None
         #: Permanently failed: the block layer exhausted its retries.
         self.failed = False
         #: The final device error when :attr:`failed` (None otherwise).

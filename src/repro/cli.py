@@ -92,6 +92,7 @@ def cmd_run(args) -> int:
         fault_plan=plan,
         fault_seed=args.fault_seed,
         trace=args.trace is not None,
+        queue_depth=args.queue_depth,
     )
     result = outcome.result
     if plan is not None:
@@ -139,6 +140,7 @@ def cmd_run_all(args) -> int:
         fault_plan=plan,
         fault_seed=args.fault_seed,
         trace=args.trace is not None,
+        queue_depth=args.queue_depth,
         progress=lambda line: print(line, file=sys.stderr),
     )
     elapsed = time.perf_counter() - started
@@ -176,6 +178,16 @@ def cmd_run_all(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _add_queue_depth_arg(parser) -> None:
+    parser.add_argument(
+        "--queue-depth", type=int, default=1, metavar="N",
+        help="block-layer dispatch depth (NCQ tags) for stacks that "
+             "don't pin their own; 1 (default) is the classic serial "
+             "engine, byte-identical to previous releases; effective "
+             "concurrency is capped by the device's channels",
+    )
 
 
 def _add_fault_args(parser) -> None:
@@ -233,6 +245,7 @@ def main(argv=None) -> int:
              "<experiment>.spans.jsonl to DIR (inspect with "
              "`python -m repro trace-report DIR`)",
     )
+    _add_queue_depth_arg(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -258,6 +271,7 @@ def main(argv=None) -> int:
         "--trace", metavar="DIR", default=None,
         help="attach lifecycle tracing; writes one spans.jsonl per experiment",
     )
+    _add_queue_depth_arg(all_parser)
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
 

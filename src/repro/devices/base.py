@@ -57,13 +57,25 @@ class Device:
     Subclasses implement :meth:`service_time`; the block-layer dispatch
     engine calls it once per request, in dispatch order, so the model
     may keep head-position state between calls.
+
+    ``channels`` is the device's internal parallelism — how many
+    requests it can service concurrently (flash channels on an SSD; 1
+    for a single-actuator disk).  The multi-queue dispatch engine caps
+    its effective slot count at this value, so a mechanical disk
+    serializes regardless of the configured queue depth.
     """
 
-    def __init__(self, capacity_blocks: int, name: str = "disk"):
+    def __init__(self, capacity_blocks: int, name: str = "disk", channels: int = 1):
         if capacity_blocks <= 0:
             raise ValueError("capacity must be positive")
+        if channels < 1:
+            raise ValueError(f"channels must be >= 1, got {channels}")
         self.capacity_blocks = capacity_blocks
         self.name = name
+        self.channels = channels
+        #: Requests currently in service (maintained by the dispatch
+        #: engine via :meth:`begin_service`/:meth:`end_service`).
+        self.active = 0
         self.stats = DeviceStats()
         self._last_block_end: Optional[int] = None
         # Stack bus plumbing (set by attach_bus when the block queue
@@ -89,6 +101,20 @@ class Device:
     def is_sequential(self, block: int) -> bool:
         """Does *block* directly follow the previous request?"""
         return self._last_block_end is not None and block == self._last_block_end
+
+    def begin_service(self) -> None:
+        """A dispatch slot starts occupying the device with a request.
+
+        Called by the block queue immediately before :meth:`service_time`
+        (so the call sees itself counted in :attr:`active`); wrappers
+        forward to their inner device so contention is visible to the
+        model that computes durations.
+        """
+        self.active += 1
+
+    def end_service(self) -> None:
+        """The request's busy period on the device ended."""
+        self.active -= 1
 
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         """Seconds to serve the request; also advances device state."""

@@ -93,6 +93,7 @@ class JitteryDevice(Device):
             raise ValueError("probability must be in [0, 1]")
         super().__init__(capacity_blocks=inner.capacity_blocks, name=f"jittery-{inner.name}")
         self.inner = inner
+        self.channels = inner.channels  # transparent to multi-queue dispatch
         self.spike_probability = spike_probability
         self.spike_duration = spike_duration
         self._rng = random.Random(seed)
@@ -102,6 +103,14 @@ class JitteryDevice(Device):
         """Adopt the bus on the wrapper and the wrapped device."""
         super().attach_bus(bus, clock)
         self.inner.attach_bus(bus, clock)
+
+    def begin_service(self) -> None:
+        super().begin_service()
+        self.inner.begin_service()
+
+    def end_service(self) -> None:
+        super().end_service()
+        self.inner.end_service()
 
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         duration = self.inner.service_time(op, block, nblocks)

@@ -32,5 +32,6 @@ EXPERIMENTS = {
     "fig19": ("repro.experiments.fig19_postgres", "Figure 19: PostgreSQL latency CDF"),
     "fig20": ("repro.experiments.fig20_qemu", "Figure 20: QEMU isolation"),
     "fig21": ("repro.experiments.fig21_hdfs", "Figure 21: HDFS isolation"),
+    "fig22": ("repro.experiments.fig22_queue_depth", "Figure 22: multi-queue dispatch vs depth"),
     "tab1": ("repro.experiments.tab1_properties", "Table 1: framework properties"),
 }

@@ -5,6 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.config import StackConfig
 from repro.devices import HDD, SSD
 from repro.sim import Environment
 from repro.syscall.os import OS
@@ -24,6 +25,23 @@ _trace_enabled = False
 #: SpanBuilders attached while tracing was enabled, in stack-creation
 #: order (the order drain_spans concatenates).
 _span_builders: List = []
+#: Session-wide block-layer queue depth, set by the CLI's
+#: --queue-depth flag.  StackConfigs with queue_depth=None inherit it;
+#: an explicit config value always wins.
+_default_queue_depth = 1
+
+
+def set_default_queue_depth(depth: int) -> None:
+    """Install the session queue depth for stacks that don't pin one."""
+    global _default_queue_depth
+    if depth < 1:
+        raise ValueError(f"queue depth must be >= 1, got {depth}")
+    _default_queue_depth = depth
+
+
+def default_queue_depth() -> int:
+    """The session queue depth (1 unless --queue-depth raised it)."""
+    return _default_queue_depth
 
 
 def enable_tracing() -> None:
@@ -128,54 +146,72 @@ def reset_id_counters() -> None:
     Transaction._tids = itertools.count(1)
 
 
-def build_stack(
-    scheduler=None,
-    device: str = "hdd",
-    memory_bytes: int = 1 * GB,
-    fs_class=None,
-    writeback_enabled: bool = True,
-    writeback_config=None,
-    cores: int = 8,
-):
+def build_stack(config: Optional[StackConfig] = None, **kwargs):
     """A fresh (env, OS) pair for one experimental run.
+
+    Preferred form: ``build_stack(StackConfig(device="ssd",
+    scheduler="cfq"))`` — one declarative object naming the whole
+    machine, serializable for the parallel runner's workers.  The
+    historical keyword surface (``scheduler=...``, ``device=...``,
+    ``fs_class=...``) still works and is folded into a StackConfig via
+    :meth:`~repro.config.StackConfig.from_kwargs`.
 
     The default memory size is deliberately smaller than the paper's
     16 GB testbed: the simulated workloads are scaled down in the same
     proportion, keeping the dirty-ratio and cache dynamics equivalent
     while the simulation stays fast.
 
-    If a session fault plan is installed (see
-    :func:`set_default_fault_plan`), the device is wrapped in a
-    fault-injecting proxy; otherwise the stack is byte-identical to the
-    fault-free one.
+    If the config carries a fault plan — or, failing that, a session
+    fault plan is installed (see :func:`set_default_fault_plan`) — the
+    device is wrapped in a fault-injecting proxy; otherwise the stack
+    is byte-identical to the fault-free one.  Likewise
+    ``config.queue_depth=None`` inherits the session depth (the CLI's
+    ``--queue-depth``), which defaults to the classic serial 1.
     """
-    if isinstance(scheduler, str):
-        from repro.schedulers import make_scheduler
-
-        scheduler = make_scheduler(scheduler)
+    if not isinstance(config, StackConfig):
+        if config is not None:
+            kwargs["scheduler"] = config  # legacy positional scheduler
+        config = StackConfig.from_kwargs(**kwargs)
+    elif kwargs:
+        raise TypeError(
+            "pass either a StackConfig or keyword overrides, not both "
+            "(use config.replace(...) to derive a variant)"
+        )
+    scheduler = config.make_scheduler()
     reset_id_counters()
     env = Environment()
-    dev = make_device(device)
+    dev = make_device(config.device)
+    plan_seed = None
+    explicit_plan = config.make_fault_plan()
+    if explicit_plan is not None and not explicit_plan.empty:
+        plan_seed = (explicit_plan, config.fault_seed)
+    elif _default_fault_plan is not None:
+        plan_seed = _default_fault_plan
     injector = None
-    if _default_fault_plan is not None:
+    if plan_seed is not None:
         from repro.faults import FaultInjector, FaultyDevice
         from repro.sim.rand import RandomStreams
 
-        plan, seed = _default_fault_plan
+        plan, seed = plan_seed
         streams = RandomStreams(seed)
         injector = FaultInjector(env, plan, streams, stream_name=f"faults.{dev.name}")
         dev = FaultyDevice(dev, injector)
-    kwargs = dict(
+    queue_depth = (
+        config.queue_depth if config.queue_depth is not None else _default_queue_depth
+    )
+    os_kwargs = dict(
         device=dev,
         scheduler=scheduler,
-        memory_bytes=memory_bytes,
-        cores=cores,
-        writeback_enabled=writeback_enabled,
-        writeback_config=writeback_config,
+        memory_bytes=config.memory_bytes,
+        cores=config.cores,
+        writeback_enabled=config.writeback_enabled,
+        writeback_config=config.make_writeback_config(),
+        queue_depth=queue_depth,
     )
+    fs_class = config.make_fs_class()
     if fs_class is not None:
-        kwargs["fs_class"] = fs_class
-    machine = OS(env, **kwargs)
+        os_kwargs["fs_class"] = fs_class
+    machine = OS(env, **os_kwargs)
     if injector is not None:
         injector.arm_power_loss()
         _fault_queues.append(machine.block_queue)

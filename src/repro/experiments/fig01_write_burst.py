@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import TimeSeries
 from repro.schedulers import make_scheduler
@@ -55,7 +56,7 @@ def run(
     else:
         raise ValueError(f"scheduler must be 'cfq' or 'split', got {scheduler!r}")
 
-    env, machine = build_stack(scheduler=sched, device="hdd", memory_bytes=memory_bytes)
+    env, machine = build_stack(StackConfig(scheduler=sched, device="hdd", memory_bytes=memory_bytes))
     setup = machine.spawn("setup")
 
     def setup_proc():

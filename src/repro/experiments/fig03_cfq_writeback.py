@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, run_for
 from repro.metrics.recorders import ThroughputTracker, deviation_from_ideal
 from repro.schedulers import make_scheduler
@@ -18,7 +19,7 @@ from repro.workloads import sequential_writer
 
 
 def run(duration: float = 30.0, chunk: int = 1 * MB, memory_bytes: int = 1 * GB) -> Dict:
-    env, machine = build_stack(scheduler=make_scheduler("cfq"), device="hdd", memory_bytes=memory_bytes)
+    env, machine = build_stack(StackConfig(scheduler="cfq", device="hdd", memory_bytes=memory_bytes))
 
     #: Tally the priority of the task that SUBMITTED each block write —
     #: what a block-level scheduler can observe.

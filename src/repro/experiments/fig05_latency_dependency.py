@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import LatencyRecorder
 from repro.schedulers import make_scheduler
@@ -45,7 +46,7 @@ def run(
         scheduler = make_scheduler(
             "block-deadline", read_deadline=block_deadline, write_deadline=block_deadline
         )
-        env, machine = build_stack(scheduler=scheduler, device="hdd")
+        env, machine = build_stack(StackConfig(scheduler=scheduler, device="hdd"))
         setup = machine.spawn("setup")
 
         def setup_proc():

@@ -9,6 +9,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
 from repro.schedulers import make_scheduler
@@ -35,7 +36,7 @@ def run(thread_counts: List[int] = (1, 10, 100), duration: float = 10.0) -> Dict
     for key, scheduler_name in (("block_mbps", "noop"), ("split_mbps", "split-noop")):
         for threads in thread_counts:
             env, machine = build_stack(
-                scheduler=make_scheduler(scheduler_name), device="ssd", memory_bytes=256 * MB
+                StackConfig(scheduler=scheduler_name, device="ssd", memory_bytes=256 * MB)
             )
             setup = machine.spawn("setup")
 

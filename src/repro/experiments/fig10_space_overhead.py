@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.cache.writeback import WritebackConfig
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, run_for
 from repro.schedulers import make_scheduler
 from repro.units import GB, MB
@@ -37,10 +38,12 @@ def run(
             dirty_ratio=ratio,
         )
         env, machine = build_stack(
-            scheduler=make_scheduler("split-token"),
-            device="hdd",
-            memory_bytes=memory_bytes,
-            writeback_config=config,
+            StackConfig(
+                scheduler="split-token",
+                device="hdd",
+                memory_bytes=memory_bytes,
+                writeback=config,
+            )
         )
         for i in range(writers):
             task = machine.spawn(f"hdfs-writer{i}")

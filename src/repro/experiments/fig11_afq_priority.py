@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker, deviation_from_ideal
 from repro.schedulers import make_scheduler
@@ -44,7 +45,7 @@ def _collect(trackers, env) -> Dict:
 
 def run_read(scheduler: str, duration: float = 20.0, file_size: int = 64 * MB) -> Dict:
     """(a) eight priority readers, own files, sequential."""
-    env, machine = build_stack(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB)
+    env, machine = build_stack(StackConfig(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB))
     setup = machine.spawn("setup")
 
     def setup_proc():
@@ -66,7 +67,7 @@ def run_read(scheduler: str, duration: float = 20.0, file_size: int = 64 * MB) -
 
 def run_async_write(scheduler: str, duration: float = 20.0) -> Dict:
     """(b) eight priority writers, buffered sequential writes."""
-    env, machine = build_stack(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB)
+    env, machine = build_stack(StackConfig(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB))
     trackers = {}
     for prio in range(8):
         task = machine.spawn(f"w{prio}", priority=prio)
@@ -83,7 +84,7 @@ def run_sync_write(
     scheduler: str, duration: float = 20.0, threads_per_priority: int = 2, file_size: int = 16 * MB
 ) -> Dict:
     """(c) sync random writes + fsync per thread (journal pressure)."""
-    env, machine = build_stack(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB)
+    env, machine = build_stack(StackConfig(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB))
     trackers = {p: [] for p in range(8)}
     for prio in range(8):
         for i in range(threads_per_priority):
@@ -101,7 +102,7 @@ def run_sync_write(
 
 def run_memory(scheduler: str, duration: float = 10.0) -> Dict:
     """(d) overwriting 4 MB in cache: no disk contention, both fast."""
-    env, machine = build_stack(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB)
+    env, machine = build_stack(StackConfig(scheduler=_make(scheduler), device="hdd", memory_bytes=1 * GB))
     trackers = {}
     for prio in range(8):
         task = machine.spawn(f"m{prio}", priority=prio)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Dict
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import LatencyRecorder
 from repro.schedulers import make_scheduler
@@ -64,7 +65,7 @@ def run(
     else:
         raise ValueError(f"scheduler must be 'block' or 'split', got {scheduler!r}")
 
-    env, machine = build_stack(scheduler=sched, device=device)
+    env, machine = build_stack(StackConfig(scheduler=sched, device=device))
     setup = machine.spawn("setup")
 
     def setup_proc():

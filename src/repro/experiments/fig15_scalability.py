@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
 from repro.schedulers import make_scheduler
@@ -48,7 +49,7 @@ def run_cell(
     # Memory is small relative to B's file so "disk" workloads really
     # hit the disk (in the paper: a 10 GB file vs 8 GB of RAM).
     env, machine = build_stack(
-        scheduler=scheduler, device="hdd", memory_bytes=256 * MB, cores=cores
+        StackConfig(scheduler=scheduler, device="hdd", memory_bytes=256 * MB, cores=cores)
     )
     setup = machine.spawn("setup")
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.fs.xfs import XFS
 from repro.metrics.recorders import ThroughputTracker
@@ -43,7 +44,7 @@ def run_cell(
     scheduler = make_scheduler("split-token")
     fs_class = XFS if fs_name == "xfs" else None
     env, machine = build_stack(
-        scheduler=scheduler, device="hdd", memory_bytes=1 * GB, fs_class=fs_class
+        StackConfig(scheduler=scheduler, device="hdd", memory_bytes=1 * GB, fs=fs_class)
     )
     setup = machine.spawn("setup")
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.apps.sqlite import SQLiteDB
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.schedulers import make_scheduler
 from repro.units import MB
@@ -31,7 +32,7 @@ def run_cell(
     else:
         raise ValueError(f"scheduler must be 'block' or 'split', got {scheduler!r}")
 
-    env, machine = build_stack(scheduler=sched, device=device, memory_bytes=1024 * MB)
+    env, machine = build_stack(StackConfig(scheduler=sched, device=device, memory_bytes=1024 * MB))
     db = SQLiteDB(machine, table_bytes=table_bytes, checkpoint_threshold=threshold)
     drive(env, db.setup())
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps.postgres import Postgres
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive
 from repro.schedulers import make_scheduler
 from repro.units import MB
@@ -48,10 +49,12 @@ def run_config(
         raise ValueError(f"config must be one of {CONFIGS}, got {config!r}")
 
     env, machine = build_stack(
-        scheduler=sched,
-        device="ssd",
-        memory_bytes=1024 * MB,
-        writeback_enabled=writeback_enabled,
+        StackConfig(
+            scheduler=sched,
+            device="ssd",
+            memory_bytes=1024 * MB,
+            writeback_enabled=writeback_enabled,
+        )
     )
     db = Postgres(
         machine,

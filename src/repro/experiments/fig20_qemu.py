@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps.qemu import QemuVM
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.experiments.isolation import SIX_WORKLOADS, make_scheduler
 from repro.metrics.recorders import ThroughputTracker
@@ -50,7 +51,7 @@ def run_cell(
     image_bytes: int = 256 * MB,
 ) -> Dict:
     scheduler = make_scheduler(scheduler_kind)
-    env, host = build_stack(scheduler=scheduler, device="hdd", memory_bytes=2 * GB, cores=4)
+    env, host = build_stack(StackConfig(scheduler=scheduler, device="hdd", memory_bytes=2 * GB, cores=4))
 
     vm_a = QemuVM(host, name="vmA", image_bytes=image_bytes, guest_memory=256 * MB)
     vm_b = QemuVM(host, name="vmB", image_bytes=image_bytes, guest_memory=256 * MB)

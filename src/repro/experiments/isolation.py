@@ -8,6 +8,7 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List, Optional, Tuple
 
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
 from repro.units import GB, KB, MB
@@ -75,7 +76,7 @@ def run_pair(
     """
     scheduler = make_scheduler(scheduler_kind)
     env, machine = build_stack(
-        scheduler=scheduler, device=device, memory_bytes=memory_bytes, fs_class=fs_class
+        StackConfig(scheduler=scheduler, device=device, memory_bytes=memory_bytes, fs=fs_class)
     )
     setup = machine.spawn("setup")
 
@@ -180,7 +181,7 @@ def _run_pattern_cell(
 ) -> Dict:
     scheduler = make_scheduler(scheduler_kind)
     env, machine = build_stack(
-        scheduler=scheduler, device=device, memory_bytes=memory_bytes, fs_class=fs_class
+        StackConfig(scheduler=scheduler, device=device, memory_bytes=memory_bytes, fs=fs_class)
     )
     setup = machine.spawn("setup")
 

@@ -105,19 +105,24 @@ def merge_cell_results(
     return merge_fn(pairs, **(overrides or {}))
 
 
-def _worker_init(fault_spec, trace: bool = False) -> None:
-    """Process-pool initialiser: re-install the session fault plan and
-    trace flag.
+def _worker_init(fault_spec, trace: bool = False, queue_depth: int = 1) -> None:
+    """Process-pool initialiser: re-install the session fault plan,
+    trace flag, and block-layer queue depth.
 
     Workers are fresh interpreters (or forks taken before any plan was
-    installed), so without this the ``--fault-*`` flags and ``--trace``
-    would silently stop applying under ``--jobs N``.
+    installed), so without this the ``--fault-*``, ``--trace`` and
+    ``--queue-depth`` flags would silently stop applying under
+    ``--jobs N``.  Cells whose kwargs carry a serialized
+    :class:`~repro.config.StackConfig` re-inflate it themselves via
+    ``StackConfig.from_dict`` — configs pin their own depth, so only
+    the session default travels here.
     """
     if fault_spec is not None:
         plan, seed = fault_spec
         common.set_default_fault_plan(plan, seed)
     if trace:
         common.enable_tracing()
+    common.set_default_queue_depth(queue_depth)
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
@@ -135,6 +140,7 @@ def execute_cells(
     fault_plan=None,
     fault_seed: int = 0,
     trace: bool = False,
+    queue_depth: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
     """Execute *cells*, returning ``(result, faults, spans, seconds)``
@@ -146,7 +152,7 @@ def execute_cells(
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec, trace)
+        _worker_init(fault_spec, trace, queue_depth)
         try:
             out = []
             for cell in cells:
@@ -159,9 +165,11 @@ def execute_cells(
                 common.clear_default_fault_plan()
             if trace:
                 common.disable_tracing()
+            common.set_default_queue_depth(1)
 
     with ProcessPoolExecutor(
-        max_workers=jobs, initializer=_worker_init, initargs=(fault_spec, trace)
+        max_workers=jobs, initializer=_worker_init,
+        initargs=(fault_spec, trace, queue_depth),
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -181,6 +189,7 @@ def run_experiments(
     fault_plan=None,
     fault_seed: int = 0,
     trace: bool = False,
+    queue_depth: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -205,7 +214,7 @@ def run_experiments(
 
     outcomes = execute_cells(
         all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
-        trace=trace, progress=progress,
+        trace=trace, queue_depth=queue_depth, progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -230,10 +239,12 @@ def run_experiment(
     fault_plan=None,
     fault_seed: int = 0,
     trace: bool = False,
+    queue_depth: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
     return run_experiments(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
-        fault_seed=fault_seed, trace=trace, progress=progress,
+        fault_seed=fault_seed, trace=trace, queue_depth=queue_depth,
+        progress=progress,
     )[key]

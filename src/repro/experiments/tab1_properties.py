@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.framework import FRAMEWORK_PROPERTIES
+from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.schedulers import make_scheduler
 from repro.units import KB, MB
@@ -24,7 +25,7 @@ from repro.workloads import sequential_writer
 
 def probe_block_framework() -> Dict[str, bool]:
     """What a pure block-level scheduler can actually see and do."""
-    env, machine = build_stack(scheduler=make_scheduler("cfq"), device="hdd", memory_bytes=256 * MB)
+    env, machine = build_stack(StackConfig(scheduler="cfq", device="hdd", memory_bytes=256 * MB))
     writer = machine.spawn("app", priority=0)
     env.process(sequential_writer(machine, writer, "/f", 5.0, chunk=1 * MB))
 
@@ -48,7 +49,7 @@ def probe_block_framework() -> Dict[str, bool]:
 def probe_syscall_framework() -> Dict[str, bool]:
     """What an SCS-style scheduler can see and do."""
     scheduler = make_scheduler("scs-token")
-    env, machine = build_stack(scheduler=scheduler, device="hdd", memory_bytes=256 * MB)
+    env, machine = build_stack(StackConfig(scheduler=scheduler, device="hdd", memory_bytes=256 * MB))
     # Syscall hooks fire with the calling task: cause mapping works, and
     # calls can be delayed before the FS sees them: reordering works.
     # But the scheduler's only cost signal is the nominal byte count.
@@ -78,7 +79,7 @@ def probe_syscall_framework() -> Dict[str, bool]:
 def probe_split_framework() -> Dict[str, bool]:
     """The split scheduler sees all three layers."""
     scheduler = make_scheduler("split-token")
-    env, machine = build_stack(scheduler=scheduler, device="hdd", memory_bytes=256 * MB)
+    env, machine = build_stack(StackConfig(scheduler=scheduler, device="hdd", memory_bytes=256 * MB))
     writer = machine.spawn("app")
 
     causes_seen = []

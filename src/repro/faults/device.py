@@ -24,12 +24,21 @@ class FaultyDevice(Device):
                          name=name or f"faulty-{inner.name}")
         self.inner = inner
         self.injector = injector
+        self.channels = inner.channels  # transparent to multi-queue dispatch
 
     def attach_bus(self, bus, clock) -> None:
         """Adopt the bus on the wrapper, the inner device, and the injector."""
         super().attach_bus(bus, clock)
         self.inner.attach_bus(bus, clock)
         self.injector.attach_bus(bus, clock)
+
+    def begin_service(self) -> None:
+        super().begin_service()
+        self.inner.begin_service()
+
+    def end_service(self) -> None:
+        super().end_service()
+        self.inner.end_service()
 
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         self._check_bounds(block, nblocks)

@@ -52,6 +52,11 @@ def fault_summary(queue) -> Dict[str, object]:
     failed requests) with the fault injector's, when the device wraps
     one.  Cheap to call at any point; used by the CLI to report fault
     statistics alongside experiment results.
+
+    On a multi-slot queue (``queue_depth > 1`` over a multi-channel
+    device) the top-level counters stay the queue-wide totals, and a
+    ``"slots"`` list breaks them down per dispatch slot so concurrent
+    retries stay attributable.  Single-slot summaries are unchanged.
     """
     device = queue.device
     summary: Dict[str, object] = {
@@ -62,6 +67,10 @@ def fault_summary(queue) -> Dict[str, object]:
         "retries": queue.retries,
         "timeouts": queue.timeouts,
     }
+    slots = getattr(queue, "slots", None)
+    if slots is not None and len(slots) > 1:
+        summary["queue_depth"] = queue.queue_depth
+        summary["slots"] = [slot.summary() for slot in slots]
     injector = getattr(device, "injector", None)
     if injector is not None:
         summary["injected"] = injector.summary()

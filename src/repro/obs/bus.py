@@ -112,10 +112,16 @@ class BlockAdd(NamedTuple):
 
 
 class BlockDispatch(NamedTuple):
-    """The dispatcher pulled a request from the elevator to serve it."""
+    """A dispatch slot pulled a request from the elevator to serve it.
+
+    ``slot`` is the hardware-queue slot (tag) serving the request; it is
+    None on a single-slot (depth-1) queue so depth-1 span exports stay
+    byte-identical to the classic serial engine's.
+    """
 
     time: float
     request: Any
+    slot: Optional[int] = None
 
 
 class BlockComplete(NamedTuple):

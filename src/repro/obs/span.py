@@ -140,6 +140,10 @@ class SpanBuilder:
         span = self._open_io.get(event.request.id)
         if span is not None:
             span["dispatch"] = event.time
+            # Only multi-slot queues tag spans with their slot, keeping
+            # depth-1 exports byte-identical to the serial engine's.
+            if event.slot is not None:
+                span["slot"] = event.slot
 
     def _on_block_complete(self, event: BlockComplete) -> None:
         request = event.request

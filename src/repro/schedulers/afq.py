@@ -308,7 +308,10 @@ class AFQ(SplitScheduler):
             and not self._read_queues.get(request.submitter.pid)
         ):
             self._start_anticipation()
-        duration = (request.complete_time or 0.0) - (request.dispatch_time or 0.0)
+        # Wall-clock-union charge (== complete - dispatch at depth 1) so
+        # overlapping service under multi-queue dispatch bills each
+        # device second to exactly one request.
+        duration = self.service_charge(request)
         cost = self.os.disk_cost_model.normalized_bytes(request, duration)
         causes = list(request.causes)
         if causes:

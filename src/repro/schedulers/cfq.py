@@ -106,10 +106,14 @@ class CFQ(BlockScheduler):
 
     def request_completed(self, request: BlockRequest) -> None:
         duration = (request.complete_time or 0.0) - (request.dispatch_time or 0.0)
+        # Slice budgets bill wall-clock device occupancy: with several
+        # requests outstanding the overlap is charged once (identical to
+        # `duration` when dispatch is serial).
+        charge = self.service_charge(request)
         pid = request.submitter.pid
         self.disk_time[pid] = self.disk_time.get(pid, 0.0) + duration
         if pid == self._active_pid:
-            self._slice_used += duration
+            self._slice_used += charge
             queue = self._queues.get(pid)
             if request.sync and not queue and self._slice_used < self._slice_budget:
                 self._start_anticipation()

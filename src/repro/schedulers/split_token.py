@@ -207,7 +207,10 @@ class SplitToken(SplitScheduler):
         env.process(timer(), name="split-token-kick")
 
     def request_completed(self, request: BlockRequest) -> None:
-        duration = (request.complete_time or 0.0) - (request.dispatch_time or 0.0)
+        # Wall-clock-union charge: equals complete - dispatch under
+        # serial dispatch, but never double-bills overlapping service
+        # when the multi-queue engine keeps several requests in flight.
+        duration = self.service_charge(request)
         actual = self.os.disk_cost_model.normalized_bytes(request, duration)
 
         preliminary: Dict[TokenBucket, float] = {}

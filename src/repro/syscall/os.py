@@ -91,6 +91,7 @@ class OS:
         writeback_config: Optional[WritebackConfig] = None,
         writeback_enabled: bool = True,
         fs_kwargs: Optional[Dict[str, Any]] = None,
+        queue_depth: int = 1,
     ):
         self.env = env
         #: One stack event bus shared by every layer of this machine.
@@ -122,7 +123,8 @@ class OS:
         self.elevator = elevator
 
         self.block_queue = BlockQueue(
-            env, self.device, elevator, self.process_table, bus=self.bus
+            env, self.device, elevator, self.process_table, bus=self.bus,
+            queue_depth=queue_depth,
         )
         self.cache = PageCache(env, self.tags, memory_bytes, bus=self.bus)
         self.fs = fs_class(

@@ -28,11 +28,23 @@ survive I/O errors.  Each slot keeps its own error/retry/timeout
 counters (surfaced by ``fault_summary`` when more than one slot exists)
 so concurrent retries are never conflated; the queue-level totals are
 their sums.
+
+Hedged dispatch (opt-in, multi-slot only): when an attempt's service
+time exceeds an adaptive deadline — a latency percentile from the
+attached :class:`~repro.health.HealthMonitor`, falling back to the
+static ``request_timeout`` — the request is speculatively re-issued on
+a free slot.  First completion wins the race; the loser's timer is
+cancelled, so a fail-slow channel costs one deadline's worth of
+latency instead of the full degraded service time.  Scheduler billing
+needs no change: the wall-clock-union ``service_charge`` already
+charges exactly the interval the request occupied the device,
+whichever attempt finished it.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.block.request import BlockRequest
 from repro.devices.base import DeviceError
@@ -96,6 +108,40 @@ class _CompletionListeners:
         return bool(self._entries)
 
 
+class _HedgeState:
+    """The race between a slow primary attempt and its hedge clone.
+
+    One shared ``race`` event settles exactly once with the winner's
+    name; whichever side finishes first cancels the loser's completion
+    timer (the model of an NVMe abort), so the losing attempt neither
+    completes the request a second time nor holds its channel.
+    """
+
+    __slots__ = ("request", "race", "primary_timer", "hedge_timer")
+
+    def __init__(self, env: "Environment", request: BlockRequest):
+        self.request = request
+        self.race = env.event()
+        self.primary_timer = None
+        self.hedge_timer = None
+
+    @property
+    def settled(self) -> bool:
+        return self.race.triggered
+
+    def _primary_done(self, _event) -> None:
+        if not self.race.triggered:
+            self.race.succeed("primary")
+            if self.hedge_timer is not None:
+                self.hedge_timer.cancel()
+
+    def _hedge_done(self, _event) -> None:
+        if not self.race.triggered:
+            self.race.succeed("hedge")
+            if self.primary_timer is not None:
+                self.primary_timer.cancel()
+
+
 class DispatchSlot:
     """One hardware-queue slot: state and counters of one serve process.
 
@@ -115,6 +161,8 @@ class DispatchSlot:
         "retries",
         "timeouts",
         "failed",
+        "hedges",
+        "hedge_wins",
     )
 
     def __init__(self, index: int, env: "Environment"):
@@ -127,6 +175,8 @@ class DispatchSlot:
         self.retries = 0  # retry attempts issued
         self.timeouts = 0  # attempts aborted by the request timeout
         self.failed = 0  # requests failed permanently
+        self.hedges = 0  # hedge attempts served on this slot
+        self.hedge_wins = 0  # hedge attempts that won their race here
 
     def summary(self) -> dict:
         """Per-slot counters in ``fault_summary`` shape."""
@@ -137,6 +187,8 @@ class DispatchSlot:
             "device_errors": self.errors,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
         }
 
 
@@ -161,6 +213,8 @@ class BlockQueue:
         request_timeout: Optional[float] = 30.0,
         bus: Optional[StackBus] = None,
         queue_depth: int = 1,
+        hedge: bool = False,
+        health=None,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -189,6 +243,16 @@ class BlockQueue:
         #: Effective concurrency: tags beyond the device's channels
         #: cannot overlap, so we do not spin up slots for them.
         self.nslots = max(1, min(queue_depth, getattr(device, "channels", 1)))
+        #: Hedged dispatch needs a spare slot to race on; at one slot
+        #: the flag is inert, keeping depth-1 runs byte-identical.
+        self.hedge = bool(hedge) and self.nslots > 1
+        #: The device's HealthMonitor (None = no adaptive deadline;
+        #: hedging then falls back to the static request_timeout).
+        self.health = health
+        self._pending_hedges: Deque[_HedgeState] = deque()
+        self.hedges_issued = 0  # races started (primary passed deadline)
+        self.hedge_wins = 0  # races the hedge clone won
+        self.hedge_losses = 0  # races the primary won anyway
         self.slots = [DispatchSlot(i, env) for i in range(self.nslots)]
         #: Requests dispatched and not yet completed, in dispatch order.
         self.outstanding: List[BlockRequest] = []
@@ -264,6 +328,18 @@ class BlockQueue:
             # arrives during next_request() (or between a None poll and
             # the event swap below) re-polls instead of being dropped.
             slot.kick_pending = False
+            # A pending hedge outranks fresh work: its request is
+            # already past the deadline, so it is the tail right now.
+            while self._pending_hedges:
+                state = self._pending_hedges.popleft()
+                if state.settled:
+                    continue  # race already decided; stale entry
+                yield from self._serve_hedge(state, slot)
+                break
+            else:
+                state = None
+            if state is not None:
+                continue
             request = self.scheduler.next_request()
             if request is None:
                 if slot.kick_pending:
@@ -348,11 +424,13 @@ class BlockQueue:
             # channel-aware models read `device.active` inside
             # service_time to price contention.
             self.device.begin_service()
+            self.device.serving_channel = slot.index
             try:
                 duration = self.device.service_time(
                     request.op, request.block, request.nblocks
                 )
             except DeviceError as exc:
+                self.device.serving_channel = None
                 if not exc.retryable:
                     self.device.end_service()
                     raise  # malformed request: a bug, not a device fault
@@ -363,6 +441,7 @@ class BlockQueue:
                     yield self.env.timeout(exc.latency)
                 self.device.end_service()
             else:
+                self.device.serving_channel = None
                 if self.request_timeout is not None and duration > self.request_timeout:
                     # The device stalled: the timeout fires and the
                     # attempt is abandoned after request_timeout seconds.
@@ -375,6 +454,14 @@ class BlockQueue:
                     yield self.env.timeout(self.request_timeout)
                     self.device.end_service()
                 else:
+                    if self.hedge:
+                        deadline = self._hedge_deadline(request.op)
+                        if deadline is not None and deadline < duration:
+                            yield from self._race_hedge(
+                                request, slot, duration, deadline
+                            )
+                            self.device.end_service()
+                            return
                     yield self.env.timeout(duration)
                     self.device.end_service()
                     return
@@ -388,6 +475,100 @@ class BlockQueue:
             backoff = self.retry_backoff * (2 ** (attempt - 1))
             if backoff > 0:
                 yield self.env.timeout(backoff)
+
+    # -- hedged dispatch -----------------------------------------------------
+
+    def _hedge_deadline(self, op: str) -> Optional[float]:
+        """Service time beyond which an attempt is hedged.
+
+        Adaptive when a health monitor has warmed up (a percentile of
+        recent service latencies times a margin), else the static
+        ``request_timeout`` — which the timeout path preempts, so
+        hedging effectively waits for the monitor's first verdicts.
+        """
+        if self.health is not None:
+            deadline = self.health.deadline(op)
+            if deadline is not None:
+                return deadline
+        return self.request_timeout
+
+    def _race_hedge(
+        self,
+        request: BlockRequest,
+        slot: DispatchSlot,
+        duration: float,
+        deadline: float,
+    ):
+        """Generator: finish a slow primary attempt under a hedge race.
+
+        Runs on the primary's slot, which already owns the request and
+        has ``begin_service`` counted.  Sleeps out the deadline (a fast
+        attempt would have finished by then), then enqueues a hedge
+        clone for any idle slot and waits for the race; the caller does
+        the normal completion bookkeeping whoever won, at the winner's
+        finish time.
+        """
+        env = self.env
+        yield env.timeout(deadline)
+        state = _HedgeState(env, request)
+        state.primary_timer = timer = env.timeout(duration - deadline)
+        timer.callbacks.append(state._primary_done)
+        request.hedged = True
+        self.hedges_issued += 1
+        self._pending_hedges.append(state)
+        self.kick()  # wake an idle slot to pick the clone up
+        winner = yield state.race
+        if winner == "hedge":
+            self.hedge_wins += 1
+        else:
+            self.hedge_losses += 1
+
+    def _serve_hedge(self, state: _HedgeState, slot: DispatchSlot):
+        """Generator: run one hedge clone on an idle *slot*.
+
+        The clone re-prices service from the device model (it may land
+        on a healthy channel and be fast where the primary is sick).  A
+        clone that errors or stalls is simply abandoned — the primary
+        still owns the request's fate, so hedging can only subtract
+        latency, never add failures.
+        """
+        env = self.env
+        request = state.request
+        slot.hedges += 1
+        if self._sub_devstart:
+            self.bus.publish(
+                DeviceStart(
+                    env.now, self.device.name, request.op,
+                    request.block, request.nblocks, request.attempts,
+                )
+            )
+        self.device.begin_service()
+        self.device.serving_channel = slot.index
+        try:
+            duration = self.device.service_time(
+                request.op, request.block, request.nblocks
+            )
+        except DeviceError as exc:
+            self.device.serving_channel = None
+            if not exc.retryable:
+                self.device.end_service()
+                raise
+            self.errors += 1
+            slot.errors += 1
+            if exc.latency > 0:
+                yield env.timeout(exc.latency)
+            self.device.end_service()
+            return
+        self.device.serving_channel = None
+        if self.request_timeout is not None and duration > self.request_timeout:
+            self.device.end_service()
+            return  # the clone stalled too; leave the race to the primary
+        state.hedge_timer = timer = env.timeout(duration)
+        timer.callbacks.append(state._hedge_done)
+        winner = yield state.race
+        self.device.end_service()
+        if winner == "hedge":
+            slot.hedge_wins += 1
 
     def _account(self, request: BlockRequest) -> None:
         """Charge completed bytes to the true causes, split evenly."""

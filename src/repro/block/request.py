@@ -47,6 +47,7 @@ class BlockRequest:
         "failed",
         "error",
         "slot",
+        "hedged",
     )
 
     _ids = itertools.count(1)
@@ -93,6 +94,9 @@ class BlockRequest:
         #: Dispatch slot (hardware-queue tag) that served the request;
         #: None until dispatched.  Always 0 at queue_depth=1.
         self.slot: Optional[int] = None
+        #: A hedge clone was issued for this request (its primary
+        #: attempt overran the adaptive deadline).
+        self.hedged = False
         #: Permanently failed: the block layer exhausted its retries.
         self.failed = False
         #: The final device error when :attr:`failed` (None otherwise).

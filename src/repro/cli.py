@@ -93,6 +93,7 @@ def cmd_run(args) -> int:
         fault_seed=args.fault_seed,
         trace=args.trace is not None,
         queue_depth=args.queue_depth,
+        hedge=args.hedge,
     )
     result = outcome.result
     if plan is not None:
@@ -141,6 +142,7 @@ def cmd_run_all(args) -> int:
         fault_seed=args.fault_seed,
         trace=args.trace is not None,
         queue_depth=args.queue_depth,
+        hedge=args.hedge,
         progress=lambda line: print(line, file=sys.stderr),
     )
     elapsed = time.perf_counter() - started
@@ -187,6 +189,16 @@ def _add_queue_depth_arg(parser) -> None:
              "don't pin their own; 1 (default) is the classic serial "
              "engine, byte-identical to previous releases; effective "
              "concurrency is capped by the device's channels",
+    )
+
+
+def _add_hedge_arg(parser) -> None:
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="speculatively re-issue requests that exceed the health "
+             "monitor's adaptive deadline on a free dispatch slot "
+             "(first completion wins); needs --queue-depth > 1 to have "
+             "any effect",
     )
 
 
@@ -246,6 +258,7 @@ def main(argv=None) -> int:
              "`python -m repro trace-report DIR`)",
     )
     _add_queue_depth_arg(run_parser)
+    _add_hedge_arg(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -272,8 +285,50 @@ def main(argv=None) -> int:
         help="attach lifecycle tracing; writes one spans.jsonl per experiment",
     )
     _add_queue_depth_arg(all_parser)
+    _add_hedge_arg(all_parser)
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign (random fault plans, hard "
+             "invariants, shrinking); exit 1 on any violation",
+    )
+    chaos_parser.add_argument(
+        "--plans", type=int, default=25, metavar="N",
+        help="number of random fault plans to run (default 25)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=1, metavar="N",
+        help="campaign seed; plan i derives from seed*1000003+i",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per core; the report is "
+             "byte-identical for any N)",
+    )
+    chaos_parser.add_argument(
+        "--duration", type=float, default=3.0, metavar="SEC",
+        help="simulated workload window per plan (default 3.0)",
+    )
+    chaos_parser.add_argument(
+        "--queue-depth", type=int, default=4, metavar="N",
+        help="block-layer dispatch depth for every run (default 4)",
+    )
+    chaos_parser.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged dispatch (on by default in campaigns)",
+    )
+    chaos_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimising failing plans",
+    )
+    chaos_parser.add_argument(
+        "--forbid-retries", action="store_true",
+        help="install an intentionally unsatisfiable invariant (the "
+             "campaign's own red-path sanity check)",
+    )
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     report_parser = sub.add_parser(
         "trace-report",
@@ -303,6 +358,32 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def cmd_chaos(args) -> int:
+    """Run a chaos campaign and print its report; exit 1 on violations."""
+    from repro.faults.campaign import run_campaign
+
+    report = run_campaign(
+        plans=args.plans,
+        seed=args.seed,
+        jobs=_resolve_jobs(args.jobs),
+        duration=args.duration,
+        queue_depth=args.queue_depth,
+        hedge=not args.no_hedge,
+        shrink=not args.no_shrink,
+        forbid_retries=args.forbid_retries,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    json.dump(_jsonable(report), sys.stdout, indent=2)
+    print()
+    print(
+        f"# {report['plans']} plans, {report['failed_runs']} failing, "
+        f"{report['violations']} violations "
+        f"({report['power_loss_runs']} power-loss runs)",
+        file=sys.stderr,
+    )
+    return 1 if report["violations"] else 0
 
 
 def cmd_trace_report(args) -> int:

@@ -86,6 +86,13 @@ def resolve_writeback(writeback: Any):
     return writeback
 
 
+def _health_to_dict(health: Any):
+    """The serializable form of a StackConfig ``health`` field."""
+    if health is None or isinstance(health, (bool, dict)):
+        return health
+    return health.to_dict()  # a HealthConfig
+
+
 def _fault_plan_to_dict(plan) -> Optional[Dict[str, Any]]:
     if plan is None:
         return None
@@ -101,6 +108,8 @@ def _fault_plan_to_dict(plan) -> Optional[Dict[str, Any]]:
         "stall_prob": plan.stall_prob,
         "stall_duration": plan.stall_duration,
         "power_loss_at": plan.power_loss_at,
+        "channel_faults": [list(f) for f in plan.channel_faults],
+        "hiccups": [list(h) for h in plan.hiccups],
     }
 
 
@@ -109,7 +118,7 @@ def resolve_fault_plan(plan: Any):
     if plan is None:
         return None
     if isinstance(plan, dict):
-        from repro.faults.plan import FaultPlan, FaultWindow, SlowWindow
+        from repro.faults.plan import ChannelFault, FaultPlan, FaultWindow, Hiccup, SlowWindow
 
         payload = dict(plan)
         payload["error_windows"] = [
@@ -118,6 +127,12 @@ def resolve_fault_plan(plan: Any):
         payload["slow_windows"] = [
             SlowWindow(*w) for w in payload.get("slow_windows") or ()
         ]
+        # .get: payloads serialized before these fault models existed
+        # (and hand-written dicts) still resolve.
+        payload["channel_faults"] = [
+            ChannelFault(*f) for f in payload.get("channel_faults") or ()
+        ]
+        payload["hiccups"] = [Hiccup(*h) for h in payload.get("hiccups") or ()]
         return FaultPlan(**payload)
     return plan
 
@@ -152,6 +167,12 @@ class StackConfig:
     queue_depth: Optional[int] = None
     fault_plan: Any = None
     fault_seed: int = 0
+    #: Hedged dispatch: None defers to the session default (off unless
+    #: the CLI's ``--hedge`` set it); an explicit bool pins it.
+    hedge: Optional[bool] = None
+    #: Health monitoring: None = auto (attach when hedging or a fault
+    #: plan is active), a bool forces it, a HealthConfig/dict tunes it.
+    health: Any = None
 
     def __post_init__(self):
         if self.queue_depth is not None and self.queue_depth < 1:
@@ -218,6 +239,8 @@ class StackConfig:
             "queue_depth": self.queue_depth,
             "fault_plan": _fault_plan_to_dict(self.fault_plan),
             "fault_seed": self.fault_seed,
+            "hedge": self.hedge,
+            "health": _health_to_dict(self.health),
         }
 
     @classmethod

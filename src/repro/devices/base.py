@@ -76,6 +76,10 @@ class Device:
         #: Requests currently in service (maintained by the dispatch
         #: engine via :meth:`begin_service`/:meth:`end_service`).
         self.active = 0
+        #: Channel (dispatch slot) of the attempt being priced — a hint
+        #: stored by the block queue just before :meth:`service_time`,
+        #: consumed by channel-aware fault models.  None outside a call.
+        self.serving_channel: Optional[int] = None
         self.stats = DeviceStats()
         self._last_block_end: Optional[int] = None
         # Stack bus plumbing (set by attach_bus when the block queue

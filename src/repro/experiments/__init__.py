@@ -33,5 +33,6 @@ EXPERIMENTS = {
     "fig20": ("repro.experiments.fig20_qemu", "Figure 20: QEMU isolation"),
     "fig21": ("repro.experiments.fig21_hdfs", "Figure 21: HDFS isolation"),
     "fig22": ("repro.experiments.fig22_queue_depth", "Figure 22: multi-queue dispatch vs depth"),
+    "fig23": ("repro.experiments.fig23_fail_slow", "Figure 23: hedged dispatch under fail-slow"),
     "tab1": ("repro.experiments.tab1_properties", "Table 1: framework properties"),
 }

@@ -29,6 +29,9 @@ _span_builders: List = []
 #: --queue-depth flag.  StackConfigs with queue_depth=None inherit it;
 #: an explicit config value always wins.
 _default_queue_depth = 1
+#: Session-wide hedged-dispatch flag (the CLI's --hedge).  StackConfigs
+#: with hedge=None inherit it; an explicit config value always wins.
+_default_hedge = False
 
 
 def set_default_queue_depth(depth: int) -> None:
@@ -42,6 +45,17 @@ def set_default_queue_depth(depth: int) -> None:
 def default_queue_depth() -> int:
     """The session queue depth (1 unless --queue-depth raised it)."""
     return _default_queue_depth
+
+
+def set_default_hedge(hedge: bool) -> None:
+    """Install the session hedged-dispatch flag for unpinned stacks."""
+    global _default_hedge
+    _default_hedge = bool(hedge)
+
+
+def default_hedge() -> bool:
+    """The session hedge flag (False unless --hedge set it)."""
+    return _default_hedge
 
 
 def enable_tracing() -> None:
@@ -199,6 +213,7 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
     queue_depth = (
         config.queue_depth if config.queue_depth is not None else _default_queue_depth
     )
+    hedge = config.hedge if config.hedge is not None else _default_hedge
     os_kwargs = dict(
         device=dev,
         scheduler=scheduler,
@@ -207,6 +222,8 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
         writeback_enabled=config.writeback_enabled,
         writeback_config=config.make_writeback_config(),
         queue_depth=queue_depth,
+        hedge=hedge,
+        health=config.health,
     )
     fs_class = config.make_fs_class()
     if fs_class is not None:

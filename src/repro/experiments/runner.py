@@ -105,14 +105,16 @@ def merge_cell_results(
     return merge_fn(pairs, **(overrides or {}))
 
 
-def _worker_init(fault_spec, trace: bool = False, queue_depth: int = 1) -> None:
+def _worker_init(
+    fault_spec, trace: bool = False, queue_depth: int = 1, hedge: bool = False
+) -> None:
     """Process-pool initialiser: re-install the session fault plan,
-    trace flag, and block-layer queue depth.
+    trace flag, block-layer queue depth, and hedge flag.
 
     Workers are fresh interpreters (or forks taken before any plan was
-    installed), so without this the ``--fault-*``, ``--trace`` and
-    ``--queue-depth`` flags would silently stop applying under
-    ``--jobs N``.  Cells whose kwargs carry a serialized
+    installed), so without this the ``--fault-*``, ``--trace``,
+    ``--queue-depth`` and ``--hedge`` flags would silently stop
+    applying under ``--jobs N``.  Cells whose kwargs carry a serialized
     :class:`~repro.config.StackConfig` re-inflate it themselves via
     ``StackConfig.from_dict`` — configs pin their own depth, so only
     the session default travels here.
@@ -123,6 +125,7 @@ def _worker_init(fault_spec, trace: bool = False, queue_depth: int = 1) -> None:
     if trace:
         common.enable_tracing()
     common.set_default_queue_depth(queue_depth)
+    common.set_default_hedge(hedge)
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
@@ -141,6 +144,7 @@ def execute_cells(
     fault_seed: int = 0,
     trace: bool = False,
     queue_depth: int = 1,
+    hedge: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
     """Execute *cells*, returning ``(result, faults, spans, seconds)``
@@ -152,7 +156,7 @@ def execute_cells(
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec, trace, queue_depth)
+        _worker_init(fault_spec, trace, queue_depth, hedge)
         try:
             out = []
             for cell in cells:
@@ -166,10 +170,11 @@ def execute_cells(
             if trace:
                 common.disable_tracing()
             common.set_default_queue_depth(1)
+            common.set_default_hedge(False)
 
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init,
-        initargs=(fault_spec, trace, queue_depth),
+        initargs=(fault_spec, trace, queue_depth, hedge),
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -190,6 +195,7 @@ def run_experiments(
     fault_seed: int = 0,
     trace: bool = False,
     queue_depth: int = 1,
+    hedge: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -214,7 +220,7 @@ def run_experiments(
 
     outcomes = execute_cells(
         all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
-        trace=trace, queue_depth=queue_depth, progress=progress,
+        trace=trace, queue_depth=queue_depth, hedge=hedge, progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -240,11 +246,12 @@ def run_experiment(
     fault_seed: int = 0,
     trace: bool = False,
     queue_depth: int = 1,
+    hedge: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
     return run_experiments(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
         fault_seed=fault_seed, trace=trace, queue_depth=queue_depth,
-        progress=progress,
+        hedge=hedge, progress=progress,
     )[key]

@@ -16,7 +16,7 @@ against the ordered-mode invariant.
 from repro.faults.device import FaultyDevice
 from repro.faults.errors import EIO, MediumError, PowerLoss
 from repro.faults.injector import CLEAN, FaultDecision, FaultInjector
-from repro.faults.plan import FaultPlan, FaultWindow, SlowWindow
+from repro.faults.plan import ChannelFault, FaultPlan, FaultWindow, Hiccup, SlowWindow
 from repro.faults.recovery import (
     DurabilityLog,
     RecoveryReport,
@@ -27,6 +27,7 @@ from repro.faults.recovery import (
 
 __all__ = [
     "CLEAN",
+    "ChannelFault",
     "DurabilityLog",
     "EIO",
     "FaultDecision",
@@ -34,6 +35,7 @@ __all__ = [
     "FaultPlan",
     "FaultWindow",
     "FaultyDevice",
+    "Hiccup",
     "MediumError",
     "PowerLoss",
     "RecoveryReport",

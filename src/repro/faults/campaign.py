@@ -1,0 +1,509 @@
+"""Seeded chaos campaigns: random fault plans, hard invariants, shrinking.
+
+A campaign turns the fault machinery from a demonstration into a
+*property test* of the whole stack.  Each run draws a random — but
+seed-reproducible — :class:`~repro.faults.plan.FaultPlan` mixing the
+fail-slow models (per-channel degradation, GC-like hiccups, slow
+windows) with transient errors, stalls, and the occasional power cut,
+drives a two-tenant Split-Token workload through it, and checks four
+invariants that must hold under *any* fault plan:
+
+- **watchdog** — the simulation quiesces: after the workload window
+  plus a bounded sim-time grace period, no request is in flight and
+  the scheduler holds no work (a hang shows up as a violation, never
+  as a wedged test run);
+- **conservation** — every submitted block request is accounted for:
+  ``submitted == completed + failed`` once drained (power-cut runs may
+  additionally carry the torn in-flight requests);
+- **isolation** — the rate-limited tenant never exceeds its token
+  contract by more than a generous slack, faults or no faults;
+- **recovery** — after a power cut, journal recovery replays to a
+  state satisfying the ordered-mode invariant.
+
+Campaigns fan across cores through the experiment runner's cell
+machinery (same worker pool, same declaration-order determinism:
+``--jobs 1`` and ``--jobs N`` produce identical reports), and a
+failing plan is *shrunk* — components zeroed one at a time to a local
+fixpoint — so the artefact of a red campaign is the smallest plan that
+still trips the invariant, not a 7-component haystack.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.config import StackConfig, resolve_fault_plan
+from repro.faults.errors import EIO
+from repro.faults.plan import ChannelFault, FaultPlan, FaultWindow, Hiccup, SlowWindow
+from repro.faults.recovery import DurabilityLog, crash_and_recover
+from repro.units import KB, MB
+
+#: Default campaign shape: enough plans to cover every fault mode a
+#: few times over while staying CI-fast at the default duration.
+DEFAULT_PLANS = 25
+DEFAULT_DURATION = 3.0
+DEFAULT_QUEUE_DEPTH = 4
+
+#: Upper bound on sim-seconds the drain phase may add after the
+#: workload window before the watchdog calls the run hung.
+DRAIN_GRACE = 180.0
+
+#: Slack on the isolation bound: the limited tenant may exceed its
+#: contract by this fraction (plus the bucket's one-second burst cap)
+#: before the run counts as a violation.  Generous on purpose — the
+#: invariant is "throttling cannot collapse under faults", not a
+#: precision claim (fig18/fig23 make those).
+ISOLATION_SLACK = 0.5
+
+
+# ---------------------------------------------------------------------------
+# plan generation
+# ---------------------------------------------------------------------------
+
+
+def generate_plan(rng: random.Random, horizon: float = DEFAULT_DURATION) -> FaultPlan:
+    """Draw one random fault plan from *rng*, scaled to *horizon*.
+
+    Component probabilities are tuned so most plans combine two or
+    three fault modes; a plan that comes out empty is redrawn, so the
+    result always injects something.  All magnitudes are rounded to
+    keep serialized plans short and reports readable.
+    """
+    while True:
+        kwargs: Dict[str, Any] = {}
+        if rng.random() < 0.6:
+            kwargs["channel_faults"] = [
+                ChannelFault(
+                    channel=rng.randrange(10),
+                    factor=round(rng.uniform(4.0, 24.0), 3),
+                    start=round(rng.uniform(0.0, horizon / 2), 3),
+                )
+            ]
+        if rng.random() < 0.35:
+            period = round(rng.uniform(0.3, 1.5), 3)
+            kwargs["hiccups"] = [
+                Hiccup(
+                    period=period,
+                    duration=round(period * rng.uniform(0.1, 0.4), 4),
+                    factor=round(rng.uniform(2.0, 8.0), 3),
+                )
+            ]
+        if rng.random() < 0.35:
+            kwargs["read_error_prob"] = round(rng.uniform(0.001, 0.05), 4)
+        if rng.random() < 0.25:
+            kwargs["write_error_prob"] = round(rng.uniform(0.001, 0.03), 4)
+        if rng.random() < 0.25:
+            start = round(rng.uniform(0.0, horizon * 0.6), 3)
+            kwargs["slow_windows"] = [
+                SlowWindow(
+                    start=start,
+                    end=round(start + rng.uniform(0.2, horizon / 2), 3),
+                    factor=round(rng.uniform(2.0, 10.0), 3),
+                )
+            ]
+        if rng.random() < 0.15:
+            start = round(rng.uniform(0.0, horizon * 0.7), 3)
+            kwargs["error_windows"] = [
+                FaultWindow(
+                    start=start,
+                    end=round(start + rng.uniform(0.05, 0.3), 3),
+                    op=rng.choice(["read", "write", None]),
+                )
+            ]
+        if rng.random() < 0.1:
+            kwargs["stall_prob"] = round(rng.uniform(0.0005, 0.005), 5)
+            kwargs["stall_duration"] = round(rng.uniform(0.5, 5.0), 3)
+        if rng.random() < 0.12:
+            kwargs["power_loss_at"] = round(rng.uniform(horizon * 0.3, horizon * 0.9), 3)
+        plan = FaultPlan(**kwargs)
+        if not plan.empty:
+            return plan
+
+
+# ---------------------------------------------------------------------------
+# one chaos run
+# ---------------------------------------------------------------------------
+
+
+def _chaos_reader(machine, task, path, until, chunk, tracker, stats):
+    """Cold sequential reader that survives EIO (counts it, skips on)."""
+    env = machine.env
+    try:
+        handle = yield from machine.open(task, path)
+    except EIO:
+        stats["eio"] += 1
+        return
+    size = handle.inode.size
+    if size <= 0:
+        return
+    machine.cache.free_file(handle.inode.id)
+    offset = 0
+    while env.now < until:
+        want = min(chunk, size - offset)
+        try:
+            n = yield from handle.pread(offset, want)
+        except EIO:
+            # The region is unreadable right now; record it and move
+            # past it rather than hammering the same bad blocks.
+            stats["eio"] += 1
+            n = want
+        if n <= 0:
+            n = want
+        offset = (offset + n) % size
+        if offset == 0:
+            # Wrapped: drop the file so every pass hits the device.
+            machine.cache.free_file(handle.inode.id)
+        else:
+            tracker.add(n, env.now)
+
+
+def _chaos_writer(machine, task, path, until, chunk, tracker, stats):
+    """Appender that survives EIO on writes and fsyncs."""
+    env = machine.env
+    try:
+        handle = yield from machine.open(task, path, create=True)
+    except EIO:
+        stats["eio"] += 1
+        return
+    while env.now < until:
+        try:
+            n = yield from handle.append(chunk)
+            tracker.add(n, env.now)
+        except EIO:
+            stats["eio"] += 1
+            # EIO already consumed retry/backoff sim-time, but step
+            # once more so a permanently failing device can't spin.
+            yield env.timeout(0.01)
+
+
+def run_one(
+    config: Dict,
+    duration: float = DEFAULT_DURATION,
+    rate_limit: float = 8 * MB,
+    prefill: int = 16 * MB,
+    grace: float = DRAIN_GRACE,
+    forbid_retries: bool = False,
+) -> Dict:
+    """Execute one chaos run and return its verdict dict.
+
+    *config* is a serialized :class:`~repro.config.StackConfig` whose
+    ``fault_plan`` carries the (randomly generated) plan.  The verdict
+    lists every violated invariant under ``"violations"`` — an empty
+    list is a pass — plus the measurements backing each check.
+
+    ``forbid_retries=True`` installs an intentionally unsatisfiable
+    invariant ("the block layer never retries"): the campaign's own
+    sanity check that a red run is detected and shrunk, not absorbed.
+    """
+    from repro.experiments.common import build_stack, drive, run_for
+    from repro.metrics.recorders import ThroughputTracker, fault_summary
+    from repro.workloads import prefill_file
+
+    stack_config = StackConfig.from_dict(config)
+    plan = resolve_fault_plan(config.get("fault_plan"))
+    env, machine = build_stack(stack_config)
+    queue = machine.block_queue
+    durability = DurabilityLog(queue)
+
+    stats = {"eio": 0}
+    setup = machine.spawn("setup")
+
+    def setup_proc():
+        try:
+            yield from prefill_file(machine, setup, "/a", prefill)
+        except EIO:
+            stats["eio"] += 1
+
+    try:
+        drive(env, setup_proc())
+    except Exception:
+        # A power cut during setup halts the environment mid-drive.
+        pass
+
+    a = machine.spawn("A")
+    b = machine.spawn("B")
+    machine.scheduler.set_limit(b, rate_limit)
+    a_tracker = ThroughputTracker("A")
+    b_tracker = ThroughputTracker("B")
+    start = env.now
+    until = start + duration
+    if not env.halted:
+        env.process(
+            _chaos_reader(machine, a, "/a", until, 256 * KB, a_tracker, stats)
+        )
+        env.process(
+            _chaos_writer(machine, b, "/bgrow", until, 64 * KB, b_tracker, stats)
+        )
+        run_for(env, duration)
+
+    violations: List[str] = []
+    power_lost = env.halted
+    recovery = None
+
+    if power_lost:
+        report = crash_and_recover(machine, durability)
+        recovery = report.summary()
+        if not report.invariant_ok:
+            violations.append(
+                f"recovery: ordered-mode invariant violated "
+                f"({len(report.violations)} transactions)"
+            )
+        # Torn requests are expected at a cut; conservation still must
+        # account for every submission.
+        if queue.submitted != queue.completed + queue.failed + queue.inflight_count:
+            violations.append(
+                f"conservation: submitted={queue.submitted} != "
+                f"completed={queue.completed} + failed={queue.failed} + "
+                f"inflight={queue.inflight_count} at power cut"
+            )
+    else:
+        # Watchdog: the stack must quiesce within a bounded sim-time
+        # grace window once the workload stops submitting.
+        drain_deadline = env.now + grace
+        while env.now < drain_deadline and (
+            queue.inflight_count or machine.scheduler.has_work()
+        ):
+            env.run(until=min(drain_deadline, env.now + 1.0))
+        drained = queue.inflight_count == 0 and not machine.scheduler.has_work()
+        if not drained:
+            violations.append(
+                f"watchdog: {queue.inflight_count} in flight and "
+                f"scheduler work={machine.scheduler.has_work()} after "
+                f"{grace}s drain grace"
+            )
+        if queue.submitted != queue.completed + queue.failed:
+            violations.append(
+                f"conservation: submitted={queue.submitted} != "
+                f"completed={queue.completed} + failed={queue.failed}"
+            )
+        # Isolation: the limited tenant's dirtied bytes stay within its
+        # token contract (burst cap + slack) no matter what the device
+        # does.  Skipped on power-cut runs (the window is truncated).
+        window = env.now - start
+        bound_bytes = rate_limit * (window * (1.0 + ISOLATION_SLACK) + 2.0)
+        if b_tracker.bytes_total > bound_bytes:
+            violations.append(
+                f"isolation: limited tenant wrote "
+                f"{b_tracker.bytes_total / MB:.1f} MB > bound "
+                f"{bound_bytes / MB:.1f} MB over {window:.1f}s"
+            )
+
+    if forbid_retries and queue.retries > 0:
+        violations.append(f"sanity: block layer retried {queue.retries} times")
+
+    return {
+        "plan": repr(plan),
+        "violations": violations,
+        "power_loss": power_lost,
+        "recovery": recovery,
+        "eio": stats["eio"],
+        "a_mbps": round(a_tracker.rate(until=env.now) / MB, 3),
+        "b_mbps": round(b_tracker.rate(until=env.now) / MB, 3),
+        "sim_end": round(env.now, 6),
+        "fault_summary": fault_summary(queue),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the campaign
+# ---------------------------------------------------------------------------
+
+
+def plan_for_index(seed: int, index: int, duration: float = DEFAULT_DURATION) -> FaultPlan:
+    """The deterministic plan a campaign assigns to run *index*."""
+    rng = random.Random(seed * 1_000_003 + index)
+    return generate_plan(rng, horizon=duration)
+
+
+def campaign_cells(
+    plans: int = DEFAULT_PLANS,
+    seed: int = 1,
+    duration: float = DEFAULT_DURATION,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    hedge: bool = True,
+    forbid_retries: bool = False,
+) -> List:
+    """Build the runner cells for one campaign (declaration order)."""
+    from repro.experiments.runner import Cell
+
+    cells = []
+    for index in range(plans):
+        plan = plan_for_index(seed, index, duration)
+        config = StackConfig(
+            device="ssd",
+            scheduler="split-token",
+            memory_bytes=256 * MB,
+            queue_depth=queue_depth,
+            hedge=hedge,
+            fault_plan=plan,
+            fault_seed=seed + index,
+        )
+        cells.append(
+            Cell(
+                "chaos",
+                f"plan{index:03d}",
+                "repro.faults.campaign",
+                "run_one",
+                dict(
+                    config=config.to_dict(),
+                    duration=duration,
+                    forbid_retries=forbid_retries,
+                ),
+            )
+        )
+    return cells
+
+
+def run_campaign(
+    plans: int = DEFAULT_PLANS,
+    seed: int = 1,
+    jobs: int = 1,
+    duration: float = DEFAULT_DURATION,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    hedge: bool = True,
+    shrink: bool = True,
+    forbid_retries: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run a seeded chaos campaign; returns the JSON-able report.
+
+    Failing runs are re-executed serially with shrunken plans (unless
+    ``shrink=False``), so the report's ``"failures"`` carry both the
+    original violating plan and the minimal plan that still violates.
+    """
+    from repro.experiments.runner import execute_cells
+
+    cells = campaign_cells(
+        plans=plans,
+        seed=seed,
+        duration=duration,
+        queue_depth=queue_depth,
+        hedge=hedge,
+        forbid_retries=forbid_retries,
+    )
+    outcomes = execute_cells(cells, jobs=jobs, progress=progress)
+
+    runs = []
+    failures = []
+    for index, (cell, outcome) in enumerate(zip(cells, outcomes)):
+        verdict = outcome[0]
+        runs.append(
+            {
+                "label": cell.label,
+                "plan": verdict["plan"],
+                "violations": verdict["violations"],
+                "power_loss": verdict["power_loss"],
+                "eio": verdict["eio"],
+                "a_mbps": verdict["a_mbps"],
+                "b_mbps": verdict["b_mbps"],
+            }
+        )
+        if verdict["violations"]:
+            failure: Dict[str, Any] = {
+                "label": cell.label,
+                "seed": seed,
+                "index": index,
+                "violations": verdict["violations"],
+                "plan": dict(cell.kwargs["config"]["fault_plan"]),
+            }
+            if shrink:
+                minimal, evals = shrink_plan(
+                    failure["plan"],
+                    _still_fails(cell.kwargs["config"], duration, forbid_retries),
+                )
+                failure["shrunk_plan"] = minimal
+                failure["shrink_evals"] = evals
+            failures.append(failure)
+
+    return {
+        "plans": plans,
+        "seed": seed,
+        "duration": duration,
+        "queue_depth": queue_depth,
+        "hedge": hedge,
+        "violations": sum(len(run["violations"]) for run in runs),
+        "failed_runs": len(failures),
+        "power_loss_runs": sum(1 for run in runs if run["power_loss"]),
+        "runs": runs,
+        "failures": failures,
+    }
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+
+def _still_fails(
+    config: Dict, duration: float, forbid_retries: bool
+) -> Callable[[Dict], bool]:
+    """A predicate: does *config* with this plan payload still violate?"""
+
+    def check(plan_payload: Dict) -> bool:
+        candidate = dict(config)
+        candidate["fault_plan"] = plan_payload
+        verdict = run_one(
+            candidate, duration=duration, forbid_retries=forbid_retries
+        )
+        return bool(verdict["violations"])
+
+    return check
+
+
+def _simplifications(payload: Dict) -> List[Tuple[str, Dict]]:
+    """Every one-component-removed variant of a plan payload."""
+    out: List[Tuple[str, Dict]] = []
+
+    def variant(description: str, **changes) -> None:
+        candidate = dict(payload)
+        candidate.update(changes)
+        out.append((description, candidate))
+
+    for field, neutral in (
+        ("read_error_prob", 0.0),
+        ("write_error_prob", 0.0),
+        ("stall_prob", 0.0),
+        ("slow_factor", 1.0),
+        ("power_loss_at", None),
+    ):
+        if payload.get(field) not in (neutral, None):
+            variant(f"drop {field}", **{field: neutral})
+    for field in ("error_windows", "slow_windows", "channel_faults", "hiccups"):
+        items = list(payload.get(field) or ())
+        for i in range(len(items)):
+            variant(
+                f"drop {field}[{i}]", **{field: items[:i] + items[i + 1 :]}
+            )
+    return out
+
+
+def shrink_plan(
+    payload: Dict,
+    check: Callable[[Dict], bool],
+    budget: int = 64,
+) -> Tuple[Dict, int]:
+    """Greedily minimise a violating plan payload.
+
+    Tries removing one component at a time (each probability, each
+    window/channel-fault/hiccup, the power cut); a removal is kept
+    whenever ``check`` still reports a violation, and the pass repeats
+    until a fixpoint or the evaluation *budget* runs out.  Returns
+    ``(minimal payload, evaluations used)``.  Delta-debugging's greedy
+    1-minimal core — quadratic worst case, tiny in practice because
+    generated plans carry at most ~8 components.
+    """
+    current = dict(payload)
+    evals = 0
+    progressed = True
+    while progressed and evals < budget:
+        progressed = False
+        for _description, candidate in _simplifications(current):
+            if evals >= budget:
+                break
+            evals += 1
+            if check(candidate):
+                current = candidate
+                progressed = True
+                break
+    return current, evals

@@ -11,6 +11,8 @@ times are bit-identical to the inner device's.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.devices.base import Device
 from repro.faults.errors import MediumError
 from repro.faults.injector import FaultInjector
@@ -19,7 +21,7 @@ from repro.faults.injector import FaultInjector
 class FaultyDevice(Device):
     """Wraps any :class:`Device`, injecting faults per its plan."""
 
-    def __init__(self, inner: Device, injector: FaultInjector, name: str = None):
+    def __init__(self, inner: Device, injector: FaultInjector, name: Optional[str] = None):
         super().__init__(capacity_blocks=inner.capacity_blocks,
                          name=name or f"faulty-{inner.name}")
         self.inner = inner
@@ -42,14 +44,16 @@ class FaultyDevice(Device):
 
     def service_time(self, op: str, block: int, nblocks: int) -> float:
         self._check_bounds(block, nblocks)
-        decision = self.injector.decide(op, block, nblocks)
+        decision = self.injector.decide(op, block, nblocks, channel=self.serving_channel)
         if decision.error:
             raise MediumError(
                 f"injected {op} error on {self.name} at block {block}",
                 latency=self.injector.plan.error_latency,
             )
-        duration = self.inner.service_time(op, block, nblocks)
-        duration = duration * decision.slow_factor + decision.extra_latency
+        base = self.inner.service_time(op, block, nblocks)
+        duration = base * decision.slow_factor + decision.extra_latency
+        if duration > base:
+            self.injector.note_slowdown(duration - base)
         self._last_block_end = block + nblocks
         self._account(op, nblocks, duration)
         return duration

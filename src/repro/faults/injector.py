@@ -63,6 +63,13 @@ class FaultInjector:
         self.window_errors = 0
         self.injected_stalls = 0
         self.slowed_ops = 0
+        self.channel_slow_ops = 0
+        self.hiccup_ops = 0
+        self.slow_window_ops = 0
+        #: Indices (into plan.slow_windows) of windows seen active.
+        self.slow_windows_triggered: set = set()
+        #: Total extra service time added by slowdowns (seconds).
+        self.slow_extra_time = 0.0
         self.power_lost_at: Optional[float] = None
 
     def attach_bus(self, bus: StackBus, clock) -> None:
@@ -76,8 +83,15 @@ class FaultInjector:
                 FaultInjected(self.env.now, self.stream_name, kind, op)
             )
 
-    def decide(self, op: str, block: int, nblocks: int) -> FaultDecision:
-        """The fate of one device operation happening now."""
+    def decide(
+        self, op: str, block: int, nblocks: int, channel: Optional[int] = None
+    ) -> FaultDecision:
+        """The fate of one device operation happening now.
+
+        ``channel`` is the hardware channel (dispatch slot) serving the
+        op, when the caller knows it — per-channel fail-slow faults only
+        apply to ops that carry a channel identity.
+        """
         plan = self.plan
         now = self.env.now
 
@@ -101,9 +115,19 @@ class FaultInjector:
             self._publish("stall", op)
 
         factor = plan.slow_factor
-        for window in plan.slow_windows:
+        for index, window in enumerate(plan.slow_windows):
             if window.covers(now):
                 factor *= window.factor
+                self.slow_window_ops += 1
+                self.slow_windows_triggered.add(index)
+        for fault in plan.channel_faults:
+            if fault.covers(now, channel):
+                factor *= fault.factor
+                self.channel_slow_ops += 1
+        for hiccup in plan.hiccups:
+            if hiccup.covers(now):
+                factor *= hiccup.factor
+                self.hiccup_ops += 1
         if factor != 1.0:
             self.slowed_ops += 1
             self._publish("slow", op)
@@ -111,6 +135,10 @@ class FaultInjector:
         if extra == 0.0 and factor == 1.0:
             return CLEAN
         return FaultDecision(error=False, slow_factor=factor, extra_latency=extra)
+
+    def note_slowdown(self, extra_time: float) -> None:
+        """Record *extra_time* seconds of service added by a slowdown."""
+        self.slow_extra_time += extra_time
 
     def _count_error(self, op: str) -> None:
         if op == "read":
@@ -148,6 +176,11 @@ class FaultInjector:
             "window_errors": self.window_errors,
             "injected_stalls": self.injected_stalls,
             "slowed_ops": self.slowed_ops,
+            "slow_window_ops": self.slow_window_ops,
+            "slow_windows_triggered": len(self.slow_windows_triggered),
+            "channel_slow_ops": self.channel_slow_ops,
+            "hiccup_ops": self.hiccup_ops,
+            "slow_extra_time": round(self.slow_extra_time, 9),
             "power_lost_at": self.power_lost_at,
         }
 

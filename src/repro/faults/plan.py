@@ -44,6 +44,43 @@ class SlowWindow(NamedTuple):
         return self.start <= now < self.end
 
 
+class ChannelFault(NamedTuple):
+    """A fail-slow *channel*: ops served on it multiply by ``factor``.
+
+    Models the dominant fleet-scale failure mode — one flash channel
+    (equivalently, one dispatch slot at the block layer) silently
+    degrading while its siblings stay fast.  The fault is scoped to
+    ``[start, end)`` in simulated time (default: forever).
+    """
+
+    channel: int
+    factor: float
+    start: float = 0.0
+    end: float = float("inf")
+
+    def covers(self, now: float, channel: Optional[int]) -> bool:
+        """Does this fault slow an op on *channel* at time *now*?"""
+        return channel == self.channel and self.start <= now < self.end
+
+
+class Hiccup(NamedTuple):
+    """Intermittent device-wide hiccups: periodic slow episodes.
+
+    Every ``period`` seconds of simulated time the device enters a
+    ``duration``-long episode in which service times multiply by
+    ``factor`` — the signature of background GC or firmware housekeeping
+    on a sick drive.  Deterministic in sim time (no randomness needed).
+    """
+
+    period: float
+    duration: float
+    factor: float
+
+    def covers(self, now: float) -> bool:
+        """Is *now* inside a hiccup episode?"""
+        return now % self.period < self.duration
+
+
 class FaultPlan:
     """What can fail on one device, and when.
 
@@ -62,6 +99,8 @@ class FaultPlan:
         stall_prob: float = 0.0,
         stall_duration: float = 60.0,
         power_loss_at: Optional[float] = None,
+        channel_faults: Optional[List[ChannelFault]] = None,
+        hiccups: Optional[List[Hiccup]] = None,
     ):
         for name, prob in (
             ("read_error_prob", read_error_prob),
@@ -88,6 +127,22 @@ class FaultPlan:
                 raise ValueError(f"empty slow window {window}")
             if window.factor < 1.0:
                 raise ValueError(f"slow window factor must be >= 1, got {window.factor}")
+        for fault in channel_faults or ():
+            if fault.channel < 0:
+                raise ValueError(f"channel must be >= 0, got {fault.channel}")
+            if fault.factor < 1.0:
+                raise ValueError(f"channel fault factor must be >= 1, got {fault.factor}")
+            if fault.start >= fault.end:
+                raise ValueError(f"empty channel fault {fault}")
+        for hiccup in hiccups or ():
+            if hiccup.period <= 0:
+                raise ValueError(f"hiccup period must be positive, got {hiccup.period}")
+            if not 0 < hiccup.duration <= hiccup.period:
+                raise ValueError(
+                    f"hiccup duration must be in (0, period], got {hiccup.duration}"
+                )
+            if hiccup.factor < 1.0:
+                raise ValueError(f"hiccup factor must be >= 1, got {hiccup.factor}")
 
         self.read_error_prob = read_error_prob
         self.write_error_prob = write_error_prob
@@ -101,6 +156,10 @@ class FaultPlan:
         self.stall_duration = stall_duration
         #: Simulated time of an abrupt power cut (None = never).
         self.power_loss_at = power_loss_at
+        #: Per-channel fail-slow faults (one sick flash channel).
+        self.channel_faults: List[ChannelFault] = list(channel_faults or ())
+        #: Periodic device-wide slow episodes (GC-like hiccups).
+        self.hiccups: List[Hiccup] = list(hiccups or ())
 
     @property
     def empty(self) -> bool:
@@ -113,6 +172,8 @@ class FaultPlan:
             and not self.slow_windows
             and self.stall_prob == 0.0
             and self.power_loss_at is None
+            and not self.channel_faults
+            and not self.hiccups
         )
 
     def error_probability(self, op: str) -> float:
@@ -135,4 +196,8 @@ class FaultPlan:
             parts.append(f"stall={self.stall_prob}")
         if self.power_loss_at is not None:
             parts.append(f"power_loss@{self.power_loss_at}")
+        if self.channel_faults:
+            parts.append(f"channels={len(self.channel_faults)}")
+        if self.hiccups:
+            parts.append(f"hiccups={len(self.hiccups)}")
         return f"<FaultPlan {' '.join(parts)}>"

@@ -1,0 +1,35 @@
+"""Device health monitoring: fail-slow detection for the storage stack.
+
+A :class:`HealthMonitor` subscribes to one stack's
+:class:`~repro.obs.bus.StackBus` and tracks an EWMA of device service
+latency per op class.  When the fast EWMA diverges from the healthy
+baseline it drives a ``HEALTHY -> DEGRADED -> FAILED`` state machine
+with hysteresis, publishing typed
+:class:`~repro.obs.bus.HealthTransition` events on each change.  The
+monitor also answers two operational questions:
+
+- :meth:`HealthMonitor.deadline` — an adaptive hedging deadline (a
+  latency percentile of recent samples) used by the block layer's
+  hedged dispatch;
+- :meth:`HealthMonitor.billing_factor` — the measured slowdown, used
+  by split schedulers to re-price token contracts while the device is
+  sick so tenant isolation holds under fail-slow hardware.
+"""
+
+from repro.health.monitor import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    HealthConfig,
+    HealthMonitor,
+    resolve_health,
+)
+
+__all__ = [
+    "DEGRADED",
+    "FAILED",
+    "HEALTHY",
+    "HealthConfig",
+    "HealthMonitor",
+    "resolve_health",
+]

@@ -71,6 +71,15 @@ def fault_summary(queue) -> Dict[str, object]:
     if slots is not None and len(slots) > 1:
         summary["queue_depth"] = queue.queue_depth
         summary["slots"] = [slot.summary() for slot in slots]
+    if getattr(queue, "hedge", False):
+        summary["hedging"] = {
+            "issued": queue.hedges_issued,
+            "wins": queue.hedge_wins,
+            "losses": queue.hedge_losses,
+        }
+    health = getattr(queue, "health", None)
+    if health is not None:
+        summary["health"] = health.summary()
     injector = getattr(device, "injector", None)
     if injector is not None:
         summary["injected"] = injector.summary()

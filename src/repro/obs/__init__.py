@@ -16,6 +16,7 @@ from repro.obs.bus import (
     DeviceDone,
     DeviceStart,
     FaultInjected,
+    HealthTransition,
     JournalCheckpoint,
     JournalTxnCommit,
     JournalTxnOpen,
@@ -45,6 +46,7 @@ __all__ = [
     "DeviceDone",
     "DeviceStart",
     "FaultInjected",
+    "HealthTransition",
     "JournalCheckpoint",
     "JournalTxnCommit",
     "JournalTxnOpen",

@@ -161,6 +161,20 @@ class FaultInjected(NamedTuple):
     op: str
 
 
+class HealthTransition(NamedTuple):
+    """A device health monitor changed state (fail-slow detection).
+
+    ``ratio`` is the measured degradation (EWMA service latency over
+    the healthy baseline) at the instant of the transition.
+    """
+
+    time: float
+    device: str
+    old_state: str  # "healthy" / "degraded" / "failed"
+    new_state: str
+    ratio: float
+
+
 #: Every event type the bus dispatches, in taxonomy order.
 EVENT_TYPES = (
     SyscallEnter,
@@ -178,6 +192,7 @@ EVENT_TYPES = (
     DeviceStart,
     DeviceDone,
     FaultInjected,
+    HealthTransition,
 )
 
 

@@ -58,6 +58,13 @@ SPAN_SCHEMA: Dict[str, Dict[str, tuple]] = {
         "fault": (str,),
         "op": (str,),
     },
+    "health": {
+        "time": (int, float),
+        "device": (str,),
+        "from": (str,),
+        "to": (str,),
+        "ratio": (int, float),
+    },
 }
 
 

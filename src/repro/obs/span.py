@@ -13,7 +13,10 @@ operators:
 - ``syscall`` spans: one per traced syscall (enter -> return);
 - ``journal`` spans: one per transaction commit, with the joiner cause
   set — the entanglement stage of an fsync's latency;
-- ``fault`` spans: one per injected device fault.
+- ``fault`` spans: one per injected device fault;
+- ``health`` spans: one per device health-state transition (fail-slow
+  detection) — emitted only when a monitor is attached, so untraced
+  and monitor-free traces are unchanged.
 
 All timestamps are simulated seconds, so spans are deterministic: the
 same run produces the same spans regardless of host, wall-clock, or
@@ -31,6 +34,7 @@ from repro.obs.bus import (
     BlockComplete,
     BlockDispatch,
     FaultInjected,
+    HealthTransition,
     JournalTxnCommit,
     StackBus,
     SyscallEnter,
@@ -64,6 +68,7 @@ class SpanBuilder:
             bus.subscribe(BlockComplete, self._on_block_complete),
             bus.subscribe(JournalTxnCommit, self._on_txn_commit),
             bus.subscribe(FaultInjected, self._on_fault),
+            bus.subscribe(HealthTransition, self._on_health),
         ]
 
     @classmethod
@@ -188,6 +193,18 @@ class SpanBuilder:
                 "stream": event.stream,
                 "fault": event.kind,
                 "op": event.op,
+            }
+        )
+
+    def _on_health(self, event: HealthTransition) -> None:
+        self.spans.append(
+            {
+                "kind": "health",
+                "time": event.time,
+                "device": event.device,
+                "from": event.old_state,
+                "to": event.new_state,
+                "ratio": event.ratio,
             }
         )
 

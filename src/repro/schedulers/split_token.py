@@ -211,6 +211,16 @@ class SplitToken(SplitScheduler):
         # serial dispatch, but never double-bills overlapping service
         # when the multi-queue engine keeps several requests in flight.
         duration = self.service_charge(request)
+        # Degraded-mode repricing: while the health monitor judges the
+        # device sick, service intervals are inflated by the measured
+        # slowdown through no fault of the tenant.  Dividing the charge
+        # by that factor re-prices token contracts against degraded
+        # throughput, so isolation sigma holds while the device limps.
+        health = getattr(self.queue, "health", None)
+        if health is not None:
+            factor = health.billing_factor()
+            if factor > 1.0:
+                duration /= factor
         actual = self.os.disk_cost_model.normalized_bytes(request, duration)
 
         preliminary: Dict[TokenBucket, float] = {}

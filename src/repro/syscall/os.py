@@ -92,6 +92,8 @@ class OS:
         writeback_enabled: bool = True,
         fs_kwargs: Optional[Dict[str, Any]] = None,
         queue_depth: int = 1,
+        hedge: bool = False,
+        health: Any = None,
     ):
         self.env = env
         #: One stack event bus shared by every layer of this machine.
@@ -122,9 +124,26 @@ class OS:
             raise TypeError(f"unsupported scheduler {scheduler!r}")
         self.elevator = elevator
 
+        # Health monitoring: explicit True/config attaches a monitor;
+        # None (auto) attaches one exactly when something will consume
+        # it — hedged dispatch or an injected fault plan — so a plain
+        # stack publishes no health events and stays byte-identical.
+        from repro.health import HealthConfig, HealthMonitor, resolve_health
+
+        health = resolve_health(health)
+        if health is None:
+            health = hedge or hasattr(self.device, "injector")
+        monitor = None
+        if health is not False:
+            monitor = HealthMonitor(
+                env, self.device.name, self.bus,
+                health if isinstance(health, HealthConfig) else None,
+            )
+        self.health = monitor
+
         self.block_queue = BlockQueue(
             env, self.device, elevator, self.process_table, bus=self.bus,
-            queue_depth=queue_depth,
+            queue_depth=queue_depth, hedge=hedge, health=monitor,
         )
         self.cache = PageCache(env, self.tags, memory_bytes, bus=self.bus)
         self.fs = fs_class(

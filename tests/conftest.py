@@ -1,0 +1,54 @@
+"""Suite-wide fixtures: a per-test wall-clock timeout.
+
+The chaos campaign exists to prove fault plans can't hang the
+simulation; this guard proves the *test suite* can't hang CI while
+saying so.  Every test gets a SIGALRM-based wall-clock budget
+(pytest-timeout without the dependency — the image deliberately keeps
+the toolchain minimal).  Override per test with
+``@pytest.mark.timeout(seconds)``, or suite-wide with the
+``REPRO_TEST_TIMEOUT`` environment variable; ``0`` disables the guard
+(useful under debuggers, whose breakpoints would otherwise trip it).
+
+SIGALRM only exists on Unix main threads; elsewhere the fixture is a
+silent no-op rather than a skip, so the suite still runs.
+"""
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test wall-clock timeout "
+        "(default %ss; see tests/conftest.py)" % DEFAULT_TIMEOUT,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _test_timeout(request):
+    marker = request.node.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TIMEOUT
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded the {seconds}s wall-clock "
+            f"timeout (set REPRO_TEST_TIMEOUT or @pytest.mark.timeout "
+            f"to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    # setitimer, not alarm(): sub-second budgets and no rounding.
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

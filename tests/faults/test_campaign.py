@@ -1,0 +1,172 @@
+"""The chaos campaign: plan generation, invariants, determinism, shrinking."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults.campaign import (
+    _simplifications,
+    campaign_cells,
+    generate_plan,
+    plan_for_index,
+    run_campaign,
+    run_one,
+    shrink_plan,
+)
+
+#: Small-but-real campaign shape used across these tests; duration is
+#: sim-time, so the wall cost is a couple of seconds per campaign.
+PLANS = 4
+DURATION = 1.0
+
+
+def non_neutral_components(payload):
+    """How many fault components a serialized plan actually carries."""
+    count = 0
+    for field, neutral in (
+        ("read_error_prob", 0.0),
+        ("write_error_prob", 0.0),
+        ("stall_prob", 0.0),
+        ("slow_factor", 1.0),
+    ):
+        if payload.get(field, neutral) != neutral:
+            count += 1
+    if payload.get("power_loss_at") is not None:
+        count += 1
+    for field in ("error_windows", "slow_windows", "channel_faults", "hiccups"):
+        count += len(payload.get(field) or ())
+    return count
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        plans = [repr(generate_plan(random.Random(7))) for _ in range(2)]
+        assert plans[0] == plans[1]
+
+    def test_generated_plans_never_empty(self):
+        for seed in range(50):
+            assert not generate_plan(random.Random(seed)).empty
+
+    def test_plan_for_index_is_deterministic_and_varied(self):
+        first = [repr(plan_for_index(1, i)) for i in range(10)]
+        second = [repr(plan_for_index(1, i)) for i in range(10)]
+        assert first == second
+        assert len(set(first)) > 1  # different indices draw different plans
+
+    def test_events_scale_to_horizon(self):
+        for seed in range(30):
+            plan = generate_plan(random.Random(seed), horizon=2.0)
+            if plan.power_loss_at is not None:
+                assert 0.0 < plan.power_loss_at <= 2.0
+            for fault in plan.channel_faults:
+                assert fault.start <= 1.0
+
+    def test_cells_embed_serializable_configs(self):
+        cells = campaign_cells(plans=3, seed=5, duration=DURATION)
+        assert [cell.label for cell in cells] == ["plan000", "plan001", "plan002"]
+        json.dumps([cell.kwargs for cell in cells])  # worker-portable
+
+
+class TestCampaign:
+    def test_small_campaign_holds_all_invariants(self):
+        report = run_campaign(plans=PLANS, seed=1, duration=DURATION, shrink=False)
+        assert report["violations"] == 0
+        assert report["failed_runs"] == 0
+        assert len(report["runs"]) == PLANS
+        json.dumps(report)  # the report is a JSON artefact
+
+    def test_serial_and_parallel_reports_identical(self):
+        serial = run_campaign(plans=PLANS, seed=3, duration=DURATION, jobs=1,
+                              shrink=False)
+        parallel = run_campaign(plans=PLANS, seed=3, duration=DURATION, jobs=2,
+                                shrink=False)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )
+
+    def test_run_one_verdict_shape(self):
+        cell = campaign_cells(plans=1, seed=1, duration=DURATION)[0]
+        verdict = run_one(**cell.kwargs)
+        assert verdict["violations"] == []
+        assert set(verdict) >= {
+            "plan", "violations", "power_loss", "eio",
+            "a_mbps", "b_mbps", "sim_end", "fault_summary",
+        }
+
+
+class TestBrokenInvariantIsCaughtAndShrunk:
+    @pytest.mark.timeout(300)
+    def test_forbid_retries_sanity_trips_and_shrinks(self):
+        """The intentionally-unsatisfiable invariant must go red, and
+        the offending plan must come back minimised."""
+        report = run_campaign(
+            plans=4, seed=1, duration=1.5, forbid_retries=True, shrink=True
+        )
+        assert report["failed_runs"] >= 1
+        failure = report["failures"][0]
+        assert any("sanity" in violation for violation in failure["violations"])
+        original = non_neutral_components(failure["plan"])
+        shrunk = non_neutral_components(failure["shrunk_plan"])
+        assert 1 <= shrunk < original
+        assert failure["shrink_evals"] > 0
+
+
+class TestShrinking:
+    def test_shrinks_to_single_relevant_component(self):
+        payload = {
+            "read_error_prob": 0.02,
+            "write_error_prob": 0.01,
+            "stall_prob": 0.001,
+            "stall_duration": 2.0,
+            "channel_faults": [
+                {"channel": 0, "factor": 8.0, "start": 0.0, "end": 1.0}
+            ],
+            "hiccups": [{"period": 1.0, "duration": 0.2, "factor": 4.0}],
+            "power_loss_at": 2.5,
+        }
+        # "Fails" iff reads can error: everything else must get dropped.
+        minimal, evals = shrink_plan(
+            payload, lambda p: p.get("read_error_prob", 0.0) > 0
+        )
+        assert non_neutral_components(minimal) == 1
+        assert minimal["read_error_prob"] == 0.02
+        assert evals <= 64
+
+    def test_all_removals_failing_shrinks_to_empty(self):
+        payload = {"read_error_prob": 0.02, "write_error_prob": 0.01}
+        minimal, evals = shrink_plan(payload, lambda p: True)
+        assert non_neutral_components(minimal) == 0
+        assert evals == 2  # one eval per removed component
+
+    def test_budget_bounds_evaluations(self):
+        payload = {"read_error_prob": 0.02, "write_error_prob": 0.01}
+        calls = []
+
+        def check(p):
+            calls.append(p)
+            return False  # nothing reproduces: would try all variants
+
+        minimal, evals = shrink_plan(payload, check, budget=1)
+        assert evals == 1 and len(calls) == 1  # stopped mid-pass
+        assert minimal == payload
+
+    def test_irreducible_plan_survives_unchanged(self):
+        payload = {"read_error_prob": 0.02}
+        minimal, evals = shrink_plan(payload, lambda p: p.get("read_error_prob", 0.0) > 0)
+        assert minimal == payload
+
+    def test_simplifications_cover_every_component(self):
+        payload = {
+            "read_error_prob": 0.1,
+            "slow_windows": [
+                {"start": 0, "end": 1, "factor": 2.0},
+                {"start": 1, "end": 2, "factor": 3.0},
+            ],
+        }
+        descriptions = [description for description, _ in _simplifications(payload)]
+        assert descriptions == [
+            "drop read_error_prob",
+            "drop slow_windows[0]",
+            "drop slow_windows[1]",
+        ]

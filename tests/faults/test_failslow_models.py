@@ -1,0 +1,157 @@
+"""Fail-slow fault models: per-channel faults and periodic hiccups.
+
+Covers the two plan primitives added for the chaos campaign —
+:class:`ChannelFault` (one sick flash channel) and :class:`Hiccup`
+(periodic GC-like slow episodes) — plus their injector semantics and
+the summary counters that expose them.
+"""
+
+import pytest
+
+from repro.devices import SSD
+from repro.faults import (
+    CLEAN,
+    ChannelFault,
+    FaultInjector,
+    FaultPlan,
+    FaultyDevice,
+    Hiccup,
+    SlowWindow,
+)
+from repro.sim import Environment
+from repro.sim.rand import RandomStreams
+
+
+def make_injector(plan, seed=0, at=0.0):
+    env = Environment(initial_time=at) if at else Environment()
+    return env, FaultInjector(env, plan, RandomStreams(seed))
+
+
+class TestChannelFaultModel:
+    def test_covers_matching_channel_only(self):
+        fault = ChannelFault(channel=3, factor=8.0)
+        assert fault.covers(0.0, 3)
+        assert not fault.covers(0.0, 2)
+        assert not fault.covers(0.0, None)  # channel-less op: no identity
+
+    def test_covers_half_open_time_scope(self):
+        fault = ChannelFault(channel=0, factor=8.0, start=1.0, end=2.0)
+        assert not fault.covers(0.5, 0)
+        assert fault.covers(1.0, 0)
+        assert fault.covers(1.999, 0)
+        assert not fault.covers(2.0, 0)
+
+    def test_default_scope_is_forever(self):
+        fault = ChannelFault(channel=0, factor=2.0)
+        assert fault.covers(1e9, 0)
+
+    def test_plan_validates_channel_faults(self):
+        with pytest.raises(ValueError):
+            FaultPlan(channel_faults=[ChannelFault(channel=-1, factor=2.0)])
+        with pytest.raises(ValueError):
+            FaultPlan(channel_faults=[ChannelFault(channel=0, factor=0.5)])
+        with pytest.raises(ValueError):
+            FaultPlan(channel_faults=[ChannelFault(0, 2.0, start=5.0, end=5.0)])
+
+    def test_plan_with_channel_fault_is_not_empty(self):
+        assert not FaultPlan(channel_faults=[ChannelFault(0, 2.0)]).empty
+
+
+class TestHiccupModel:
+    def test_periodic_coverage(self):
+        hiccup = Hiccup(period=1.0, duration=0.25, factor=4.0)
+        assert hiccup.covers(0.0)
+        assert hiccup.covers(0.2)
+        assert not hiccup.covers(0.25)
+        assert not hiccup.covers(0.9)
+        # ...and again every period.
+        assert hiccup.covers(3.1)
+        assert not hiccup.covers(3.6)
+
+    def test_plan_validates_hiccups(self):
+        with pytest.raises(ValueError):
+            FaultPlan(hiccups=[Hiccup(period=0.0, duration=0.1, factor=2.0)])
+        with pytest.raises(ValueError):
+            FaultPlan(hiccups=[Hiccup(period=1.0, duration=0.0, factor=2.0)])
+        with pytest.raises(ValueError):
+            FaultPlan(hiccups=[Hiccup(period=1.0, duration=1.5, factor=2.0)])
+        with pytest.raises(ValueError):
+            FaultPlan(hiccups=[Hiccup(period=1.0, duration=0.5, factor=0.9)])
+
+    def test_duration_may_equal_period(self):
+        # A degenerate always-on hiccup is legal (duration == period).
+        plan = FaultPlan(hiccups=[Hiccup(period=1.0, duration=1.0, factor=2.0)])
+        assert not plan.empty
+
+
+class TestInjectorChannelSemantics:
+    def test_factor_applies_only_on_sick_channel(self):
+        env, injector = make_injector(
+            FaultPlan(channel_faults=[ChannelFault(channel=1, factor=8.0)])
+        )
+        assert injector.decide("read", 0, 1, channel=0) is CLEAN
+        assert injector.decide("read", 0, 1, channel=1).slow_factor == 8.0
+        assert injector.decide("read", 0, 1, channel=None) is CLEAN
+        assert injector.channel_slow_ops == 1
+
+    def test_channel_decisions_draw_no_rng(self):
+        env, injector = make_injector(
+            FaultPlan(channel_faults=[ChannelFault(channel=0, factor=8.0)])
+        )
+        state = injector._rng.getstate()
+        injector.decide("read", 0, 1, channel=0)
+        injector.decide("read", 0, 1, channel=1)
+        assert injector._rng.getstate() == state  # deterministic, seed-free
+
+    def test_hiccup_applies_by_sim_time(self):
+        plan = FaultPlan(hiccups=[Hiccup(period=1.0, duration=0.25, factor=4.0)])
+        env, injector = make_injector(plan, at=0.1)
+        assert injector.decide("read", 0, 1).slow_factor == 4.0
+        env2, injector2 = make_injector(plan, at=0.5)
+        assert injector2.decide("read", 0, 1) is CLEAN
+        assert injector.hiccup_ops == 1 and injector2.hiccup_ops == 0
+
+    def test_factors_compose_multiplicatively(self):
+        env, injector = make_injector(
+            FaultPlan(
+                slow_windows=[SlowWindow(0.0, 10.0, 2.0)],
+                channel_faults=[ChannelFault(channel=0, factor=3.0)],
+                hiccups=[Hiccup(period=1.0, duration=1.0, factor=5.0)],
+            )
+        )
+        assert injector.decide("read", 0, 1, channel=0).slow_factor == 30.0
+
+
+class TestFaultyDevicePropagation:
+    def test_serving_channel_reaches_the_injector(self):
+        env, injector = make_injector(
+            FaultPlan(channel_faults=[ChannelFault(channel=2, factor=10.0)])
+        )
+        device = FaultyDevice(SSD(), injector)
+        healthy = device.service_time("read", 0, 8)
+        device.serving_channel = 2
+        sick = device.service_time("read", 0, 8)
+        device.serving_channel = None
+        assert sick == pytest.approx(10.0 * healthy)
+        assert injector.channel_slow_ops == 1
+        assert injector.slow_extra_time == pytest.approx(sick - healthy)
+
+    def test_summary_reports_failslow_counters(self):
+        env, injector = make_injector(
+            FaultPlan(
+                slow_windows=[SlowWindow(0.0, 10.0, 2.0)],
+                channel_faults=[ChannelFault(channel=0, factor=4.0)],
+                hiccups=[Hiccup(period=1.0, duration=1.0, factor=2.0)],
+            )
+        )
+        device = FaultyDevice(SSD(), injector)
+        device.serving_channel = 0
+        device.service_time("read", 0, 8)
+        device.serving_channel = None
+        summary = injector.summary()
+        assert summary["slow_window_ops"] == 1
+        assert summary["slow_windows_triggered"] == 1
+        assert summary["channel_slow_ops"] == 1
+        assert summary["hiccup_ops"] == 1
+        assert summary["slowed_ops"] == 1
+        assert summary["slow_extra_time"] > 0.0

@@ -1,0 +1,213 @@
+"""Unit tests for the fail-slow health monitor."""
+
+import pytest
+
+from repro.health import DEGRADED, FAILED, HEALTHY, HealthConfig, HealthMonitor, resolve_health
+from repro.obs.bus import DeviceDone, HealthTransition, StackBus
+from repro.sim import Environment
+
+
+def make_monitor(**config_kwargs):
+    env = Environment()
+    bus = StackBus()
+    config = HealthConfig(**config_kwargs) if config_kwargs else None
+    return env, bus, HealthMonitor(env, "ssd", bus, config)
+
+
+def feed(monitor, op, duration, n):
+    for _ in range(n):
+        monitor.observe(op, duration)
+
+
+class TestHealthConfig:
+    def test_defaults_valid(self):
+        config = HealthConfig()
+        assert config.degraded_exit < config.degraded_enter < config.failed_enter
+
+    def test_round_trips_through_dict(self):
+        config = HealthConfig(warmup=8, degraded_enter=2.0, degraded_exit=1.2)
+        assert HealthConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"warmup": 0},
+            {"degraded_enter": 2.0, "degraded_exit": 3.0},
+            {"failed_enter": 2.0},
+            {"hysteresis": 0},
+            {"window": 1},
+            {"deadline_percentile": 0.0},
+            {"deadline_margin": 0.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthConfig(**kwargs)
+
+    def test_resolve_health_forms(self):
+        assert resolve_health(None) is None
+        assert resolve_health(False) is False
+        assert resolve_health(True) is True
+        config = HealthConfig(warmup=4)
+        assert resolve_health(config) is config
+        assert resolve_health({"warmup": 4}) == config
+        with pytest.raises(TypeError):
+            resolve_health("yes")
+
+
+class TestDetection:
+    def test_starts_healthy_and_stays_healthy_on_steady_latency(self):
+        _env, _bus, monitor = make_monitor()
+        feed(monitor, "read", 1e-4, 200)
+        assert monitor.state == HEALTHY
+        assert monitor.degradation() == pytest.approx(1.0)
+        assert monitor.transitions == []
+
+    def test_no_judgement_before_warmup(self):
+        _env, _bus, monitor = make_monitor(warmup=16)
+        # Wildly degraded from the start, but too few samples to judge.
+        feed(monitor, "read", 1.0, 15)
+        assert monitor.degradation() == 1.0
+        assert monitor.deadline("read") is None
+        assert monitor.state == HEALTHY
+
+    def test_sustained_slowdown_enters_degraded(self):
+        _env, _bus, monitor = make_monitor(warmup=8, hysteresis=4)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "read", 1e-3, 50)  # 10x: past degraded_enter=3
+        assert monitor.state == DEGRADED
+        assert monitor.degradation() > 3.0
+        assert [(old, new) for _t, old, new, _r in monitor.transitions] == [
+            (HEALTHY, DEGRADED)
+        ]
+
+    def test_extreme_slowdown_enters_failed(self):
+        _env, _bus, monitor = make_monitor(warmup=8, hysteresis=2)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "read", 1e-2, 80)  # 100x
+        assert monitor.state == FAILED
+
+    def test_recovery_returns_to_healthy(self):
+        _env, _bus, monitor = make_monitor(warmup=8, hysteresis=2)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "read", 1e-3, 50)
+        assert monitor.state == DEGRADED
+        feed(monitor, "read", 1e-4, 100)
+        assert monitor.state == HEALTHY
+        assert [(old, new) for _t, old, new, _r in monitor.transitions] == [
+            (HEALTHY, DEGRADED),
+            (DEGRADED, HEALTHY),
+        ]
+
+    def test_baseline_frozen_while_degraded(self):
+        """A slow decline can't drag the baseline up and hide itself."""
+        _env, _bus, monitor = make_monitor(warmup=8, hysteresis=2)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "read", 1e-3, 10)
+        assert monitor.state == DEGRADED
+        baseline_at_transition = monitor._ops["read"].baseline
+        # Hundreds more degraded samples: the reference must not move.
+        feed(monitor, "read", 1e-3, 500)
+        assert monitor._ops["read"].baseline == baseline_at_transition
+        assert monitor.degradation() > 3.0
+
+    def test_hysteresis_requires_consecutive_agreement(self):
+        _env, _bus, monitor = make_monitor(warmup=4, hysteresis=3)
+        feed(monitor, "read", 1e-4, 20)
+        # Two degraded-looking samples: streak 2 < hysteresis 3.
+        feed(monitor, "read", 1e-3, 2)
+        assert monitor.state == HEALTHY and monitor.transitions == []
+        # Recovery resets the streak before it commits...
+        feed(monitor, "read", 1e-5, 30)
+        assert monitor.state == HEALTHY and monitor.transitions == []
+        # ...so two more degraded samples still aren't enough...
+        feed(monitor, "read", 1e-3, 2)
+        assert monitor.state == HEALTHY and monitor.transitions == []
+        # ...but a third consecutive one commits the transition.
+        feed(monitor, "read", 1e-3, 1)
+        assert monitor.state == DEGRADED
+        assert len(monitor.transitions) == 1
+
+    def test_worst_op_drives_degradation(self):
+        _env, _bus, monitor = make_monitor(warmup=8)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "write", 1e-4, 50)
+        feed(monitor, "write", 8e-4, 50)
+        assert monitor.degradation() == pytest.approx(
+            monitor._ops["write"].ewma / monitor._ops["write"].baseline
+        )
+
+
+class TestDeadline:
+    def test_deadline_tracks_percentile_times_margin(self):
+        _env, _bus, monitor = make_monitor(warmup=4, deadline_margin=3.0)
+        feed(monitor, "read", 2e-4, 40)
+        assert monitor.deadline("read") == pytest.approx(3.0 * 2e-4)
+
+    def test_deadline_none_for_unknown_op(self):
+        _env, _bus, monitor = make_monitor()
+        assert monitor.deadline("write") is None
+
+    def test_window_trims_old_samples(self):
+        _env, _bus, monitor = make_monitor(warmup=4, window=16)
+        feed(monitor, "read", 1.0, 30)
+        feed(monitor, "read", 1e-4, 16)  # fills the whole window
+        assert monitor.deadline("read") == pytest.approx(3.0 * 1e-4)
+
+
+class TestBilling:
+    def test_factor_is_one_while_healthy(self):
+        _env, _bus, monitor = make_monitor(warmup=8)
+        feed(monitor, "read", 1e-4, 50)
+        assert monitor.billing_factor() == 1.0
+
+    def test_factor_tracks_degradation_when_sick(self):
+        _env, _bus, monitor = make_monitor(warmup=8, hysteresis=2)
+        feed(monitor, "read", 1e-4, 50)
+        feed(monitor, "read", 1e-3, 50)
+        assert monitor.state == DEGRADED
+        assert monitor.billing_factor() == pytest.approx(monitor.degradation())
+        assert monitor.billing_factor() > 3.0
+
+
+class TestBusIntegration:
+    def test_consumes_matching_device_done_only(self):
+        env, bus, monitor = make_monitor()
+        bus.publish(DeviceDone(0.0, "ssd", "read", 1, 1e-4))
+        bus.publish(DeviceDone(0.0, "other", "read", 1, 5.0))
+        assert monitor.observed == 1
+
+    def test_transition_published_on_bus(self):
+        env, bus, monitor = make_monitor(warmup=4, hysteresis=2)
+        seen = []
+        bus.subscribe(HealthTransition, seen.append)
+        feed(monitor, "read", 1e-4, 20)
+        feed(monitor, "read", 1e-3, 20)
+        assert monitor.state == DEGRADED
+        assert len(seen) == 1
+        assert seen[0].device == "ssd"
+        assert (seen[0].old_state, seen[0].new_state) == (HEALTHY, DEGRADED)
+
+    def test_close_unsubscribes(self):
+        env, bus, monitor = make_monitor()
+        monitor.close()
+        bus.publish(DeviceDone(0.0, "ssd", "read", 1, 1e-4))
+        assert monitor.observed == 0
+
+
+class TestSummary:
+    def test_summary_is_json_friendly(self):
+        import json
+
+        _env, _bus, monitor = make_monitor(warmup=4, hysteresis=2)
+        feed(monitor, "read", 1e-4, 20)
+        feed(monitor, "read", 1e-3, 20)
+        summary = monitor.summary()
+        json.dumps(summary)
+        assert summary["device"] == "ssd"
+        assert summary["state"] == DEGRADED
+        assert summary["observed"] == 40
+        assert summary["transitions"][0]["from"] == HEALTHY
+        assert summary["ops"]["read"]["count"] == 40

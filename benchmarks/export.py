@@ -41,6 +41,7 @@ from repro.block import BlockQueue, BlockRequest  # noqa: E402
 from repro.block.request import READ  # noqa: E402
 from repro.cache import PageCache, PageKey  # noqa: E402
 from repro.core.tags import TagManager  # noqa: E402
+from repro.devices import HDD  # noqa: E402
 from repro.proc import ProcessTable, Task  # noqa: E402
 from repro.schedulers import Noop  # noqa: E402
 
@@ -79,6 +80,95 @@ def bench_event_loop(repeats: int) -> dict:
         "events": EVENT_LOOP_TICKS,
         "us_per_event": round(best * 1e6 / EVENT_LOOP_TICKS, 4),
         "events_per_sec": round(EVENT_LOOP_TICKS / best),
+    }
+
+
+def bench_event_cohort(repeats: int) -> dict:
+    """Same-instant event fan-out: 50 processes ticking in lock-step.
+
+    Every tick lands 50 timeouts on one timestamp, so the run loop
+    dispatches them as cohorts (one heap drain per instant instead of
+    one pop per event).  The per-event cost here tracks the cohort
+    machinery the multi-tenant experiments lean on.
+    """
+    workers = 50
+    ticks = 200
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(ticks):
+                yield env.timeout(0.001)
+
+        for _ in range(workers):
+            env.process(ticker())
+        env.run()
+
+    run()  # warm-up
+    best = _best_of(run, repeats)
+    events = workers * ticks
+    return {
+        "events": events,
+        "cohort_size": workers,
+        "us_per_event": round(best * 1e6 / events, 4),
+        "events_per_sec": round(events / best),
+    }
+
+
+def bench_fast_forward(repeats: int) -> dict:
+    """Steady-state replay: a wrapping sequential reader, off vs on.
+
+    The stream is disk-bound (the file does not fit in memory), so
+    event-accurate execution prices every read through readahead, the
+    cache, and the block layer; with ``fast_forward`` the stream is
+    measured for a few calls per pass and replayed in closed form for
+    the rest.  ``speedup`` is the gated metric — it is host-independent
+    in a way the raw per-read times are not.
+    """
+    reads = 64
+    chunk = 1 * MB
+    size = 32 * MB
+
+    def run(fast_forward: bool) -> float:
+        """Host seconds of the read phase only (setup excluded)."""
+        env = Environment()
+        machine = OS(
+            env, device=HDD(), scheduler=Noop(), memory_bytes=16 * MB,
+            fast_forward=fast_forward,
+        )
+        task = machine.spawn("reader")
+
+        def prefill():
+            handle = yield from machine.creat(task, "/f")
+            written = 0
+            while written < size:
+                written += yield from handle.append(chunk)
+            return handle
+
+        proc = env.process(prefill())
+        env.run(until=proc)
+        handle = proc.value
+
+        def stream():
+            offset = 0
+            for _ in range(reads):
+                n = yield from handle.pread(offset, chunk)
+                offset = (offset + n) % size
+
+        proc = env.process(stream())
+        t0 = time.perf_counter()
+        env.run(until=proc)
+        return time.perf_counter() - t0
+
+    run(True)  # warm-up
+    best_off = min(run(False) for _ in range(repeats))
+    best_on = min(run(True) for _ in range(repeats))
+    return {
+        "reads": reads,
+        "us_per_read_off": round(best_off * 1e6 / reads, 3),
+        "us_per_read_on": round(best_on * 1e6 / reads, 3),
+        "speedup": round(best_off / best_on, 2),
     }
 
 
@@ -177,6 +267,8 @@ def bench_mq_dispatch(repeats: int) -> dict:
 
 MICROBENCHES = {
     "event_loop": bench_event_loop,
+    "event_cohort": bench_event_cohort,
+    "fast_forward": bench_fast_forward,
     "cached_write_syscall": bench_cached_write_syscall,
     "cache_mark_dirty": bench_cache_mark_dirty,
     "cache_hit_lookup": bench_cache_hit_lookup,
@@ -206,7 +298,32 @@ def bench_suite(jobs: int = 1) -> dict:
     }
 
 
-def collect(repeats: int, with_suite: bool = True, jobs: int = 1) -> dict:
+def bench_full_suite(jobs: int = 1) -> dict:
+    """Wall-clock of every registered experiment (opt-in: minutes).
+
+    The subset timing above keeps CI honest; this one records the real
+    cost of a complete reproduction run whenever a PR refreshes the
+    committed snapshot with ``--full-suite``.
+    """
+    from repro.experiments import EXPERIMENTS, runner
+
+    keys = sorted(EXPERIMENTS)
+    t0 = time.perf_counter()
+    outcomes = runner.run_experiments([(key, None) for key in keys], jobs=jobs)
+    wall = time.perf_counter() - t0
+    return {
+        "experiments": len(keys),
+        "jobs": jobs,
+        "wall_seconds": round(wall, 2),
+        "serial_equivalent_seconds": round(
+            sum(outcome.seconds for outcome in outcomes.values()), 2
+        ),
+    }
+
+
+def collect(
+    repeats: int, with_suite: bool = True, jobs: int = 1, full_suite: bool = False
+) -> dict:
     payload = {
         "schema": 1,
         "host": {
@@ -223,13 +340,20 @@ def collect(repeats: int, with_suite: bool = True, jobs: int = 1) -> dict:
     if with_suite:
         print(f"bench suite {SUITE_KEYS} ...", file=sys.stderr)
         payload["suite"] = bench_suite(jobs=jobs)
+    if full_suite:
+        print("bench full suite (all experiments) ...", file=sys.stderr)
+        payload["full_suite"] = bench_full_suite(jobs=jobs)
     return payload
 
 
-#: Throughput metrics the --check gate watches: bench name -> rate key.
+#: Throughput metrics the --check gate watches: bench name -> rate key
+#: (higher is better for every gated metric, including the
+#: fast-forward speedup ratio).
 GATED_METRICS = (
     ("event_loop", "events_per_sec"),
+    ("event_cohort", "events_per_sec"),
     ("mq_dispatch", "requests_per_sec"),
+    ("fast_forward", "speedup"),
 )
 
 
@@ -286,12 +410,20 @@ def main(argv=None) -> int:
         help="skip the end-to-end suite wall-clock timing",
     )
     parser.add_argument(
+        "--full-suite", action="store_true",
+        help="also time a complete run of every experiment (minutes; "
+             "kept out of CI)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the suite timing (default 1)",
     )
     args = parser.parse_args(argv)
 
-    current = collect(args.repeats, with_suite=not args.no_suite, jobs=args.jobs)
+    current = collect(
+        args.repeats, with_suite=not args.no_suite, jobs=args.jobs,
+        full_suite=args.full_suite,
+    )
     Path(args.out).write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.out}", file=sys.stderr)
     for name, stats in current["benchmarks"].items():

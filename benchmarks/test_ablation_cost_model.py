@@ -15,7 +15,7 @@ each stage:
 
 from repro.experiments.common import build_stack, drive, run_for
 from repro.schedulers.split_token import SplitToken
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 from repro.workloads import prefill_file, run_pattern_writer
 from repro.metrics.recorders import ThroughputTracker
 

@@ -5,7 +5,6 @@ AFQ 16% (5x better); (c) sync random writes + fsync — CFQ 86%, AFQ 3%
 (28x); (d) memory overwrites — both fast, no fairness goal.
 """
 
-import pytest
 
 from repro.experiments import fig11_afq_priority
 

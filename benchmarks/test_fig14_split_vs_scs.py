@@ -7,7 +7,6 @@ overwrites as if they were disk I/O).
 """
 
 from repro.experiments import fig14_split_vs_scs
-from repro.units import MB
 
 
 def test_fig14_split_vs_scs(once):

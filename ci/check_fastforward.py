@@ -1,0 +1,108 @@
+"""Shape-equivalence gate for analytical fast-forward.
+
+Compares two ``repro run fig01`` outputs — one event-accurate, one with
+``--fast-forward`` — and fails if the figure's *shape* diverged.
+Fast-forward replay is an approximation, not a bit-exact transform:
+replayed calls skip per-page cache bookkeeping, so summary numbers may
+drift by a few percent.  What must survive is the story the figure
+tells: the reader's pre-burst throughput, the magnitude of its
+post-burst degradation, and the ordering between schedulers (CFQ
+degrades under the burst's writeback; split-level isolation does not).
+
+Usage::
+
+    python ci/check_fastforward.py accurate.json fastforward.json
+
+Exit 0 when every cell matches within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Pre-burst throughput is uncontended and heavily replayed — it must
+#: land almost exactly on the event-accurate value.
+BEFORE_TOL = 0.05
+#: Post-burst metrics include the measured/replayed boundary around
+#: writeback transients; allow a wider (still shape-preserving) band.
+AFTER_TOL = 0.25
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        text = "".join(line for line in fh if not line.startswith("#"))
+    return json.loads(text)
+
+
+def _rel_close(a: float, b: float, tol: float) -> bool:
+    scale = max(abs(a), abs(b))
+    return scale == 0 or abs(a - b) <= tol * scale
+
+
+def check(accurate: dict, fastforward: dict) -> int:
+    failures = []
+
+    def expect(cond: bool, message: str) -> None:
+        status = "ok" if cond else "SHAPE DIVERGENCE"
+        print(f"  {message} -> {status}", file=sys.stderr)
+        if not cond:
+            failures.append(message)
+
+    if set(accurate) != set(fastforward):
+        print(
+            f"cell sets differ: {sorted(accurate)} vs {sorted(fastforward)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    for name in sorted(accurate):
+        off, on = accurate[name], fastforward[name]
+        print(f"cell {name}:", file=sys.stderr)
+        expect(
+            len(off["series_t"]) == len(on["series_t"]),
+            f"series length {len(off['series_t'])} vs {len(on['series_t'])}",
+        )
+        expect(
+            off["burst_finished"] == on["burst_finished"],
+            f"burst_finished {off['burst_finished']} vs {on['burst_finished']}",
+        )
+        for key, tol in (
+            ("reader_before_mbps", BEFORE_TOL),
+            ("reader_after_mbps", AFTER_TOL),
+            ("degradation", AFTER_TOL),
+        ):
+            expect(
+                _rel_close(off[key], on[key], tol),
+                f"{key} {off[key]:.3f} vs {on[key]:.3f} (tol {tol:.0%})",
+            )
+
+    # The figure's headline: CFQ suffers from the burst, split does not.
+    # Whatever ordering the event-accurate run shows with a clear margin
+    # must survive fast-forward.
+    if {"cfq", "split"} <= set(accurate):
+        off_gap = accurate["cfq"]["degradation"] - accurate["split"]["degradation"]
+        on_gap = fastforward["cfq"]["degradation"] - fastforward["split"]["degradation"]
+        print("scheduler ordering:", file=sys.stderr)
+        expect(
+            off_gap <= 0.1 or on_gap > 0,
+            f"cfq-split degradation gap {off_gap:.3f} vs {on_gap:.3f}",
+        )
+
+    if failures:
+        print(f"{len(failures)} shape check(s) failed", file=sys.stderr)
+        return 1
+    print("fast-forward output matches the event-accurate shape", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return check(_load(argv[0]), _load(argv[1]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,6 @@ checkpointer's database-file fsyncs).
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.metrics.recorders import LatencyRecorder
 from repro.units import KB, MB, PAGE_SIZE

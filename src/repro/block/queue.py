@@ -155,7 +155,7 @@ class DispatchSlot:
         "index",
         "request",
         "kick_event",
-        "kick_pending",
+        "seen_seq",
         "served",
         "errors",
         "retries",
@@ -169,7 +169,10 @@ class DispatchSlot:
         self.index = index
         self.request: Optional[BlockRequest] = None
         self.kick_event = env.event()
-        self.kick_pending = False
+        #: Queue kick counter value this slot last synchronised with; a
+        #: mismatch against BlockQueue.kick_seq means a kick arrived
+        #: since the slot started its current poll.
+        self.seen_seq = 0
         self.served = 0  # requests fully completed on this slot
         self.errors = 0  # device errors observed (per attempt)
         self.retries = 0  # retry attempts issued
@@ -190,6 +193,11 @@ class DispatchSlot:
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
         }
+
+
+def _slot_index(slot: DispatchSlot) -> int:
+    """Sort key: kicks wake sleeping slots in slot-index order."""
+    return slot.index
 
 
 class BlockQueue:
@@ -215,6 +223,7 @@ class BlockQueue:
         queue_depth: int = 1,
         hedge: bool = False,
         health=None,
+        batch_pricing: bool = False,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -253,6 +262,27 @@ class BlockQueue:
         self.hedges_issued = 0  # races started (primary passed deadline)
         self.hedge_wins = 0  # races the hedge clone won
         self.hedge_losses = 0  # races the primary won anyway
+        #: Monotonic kick counter: bumped by every kick(); slots compare
+        #: their seen_seq against it to detect kicks that raced a poll.
+        self.kick_seq = 0
+        #: Slots currently parked on their kick_event, in sleep order.
+        self._sleeping: List[DispatchSlot] = []
+        #: Cached device.serve (async device models); the device never
+        #: changes after construction, so don't getattr per request.
+        self._device_serve = getattr(device, "serve", None)
+        #: Fast-forward batch pricing: a kick that wakes several slots
+        #: prices their requests through one service_time_batch call.
+        #: Only meaningful with real fan-out, a synchronous device
+        #: model, and pricing that cannot raise (no fault wrapper) —
+        #: otherwise the flag is inert and dispatch is event-accurate.
+        self.batch_pricing = (
+            bool(batch_pricing)
+            and self.nslots > 1
+            and self._device_serve is None
+            and not getattr(device, "pricing_can_fail", False)
+        )
+        #: Requests pulled and priced by a batch pass, awaiting pickup.
+        self._prepriced: Deque[BlockRequest] = deque()
         self.slots = [DispatchSlot(i, env) for i in range(self.nslots)]
         #: Requests dispatched and not yet completed, in dispatch order.
         self.outstanding: List[BlockRequest] = []
@@ -310,24 +340,68 @@ class BlockQueue:
     def kick(self) -> None:
         """Wake the dispatch slots (new request, or scheduler willing).
 
-        Slot-aware: every idle slot is woken so a batch of submissions
-        can fan out across all free slots in one pass; busy slots get
-        their pending flag set, so a kick that lands while all slots are
-        serving is re-polled the moment a slot frees instead of being
-        lost (the multi-slot generalization of the PR 1 lost-kick fix).
+        Sequence-counted: the kick bumps :attr:`kick_seq` and wakes the
+        parked slots (in slot-index order, matching the historical
+        broadcast).  Busy slots are not touched at all — they re-sync
+        with the counter when their current request completes, so a
+        kick that lands while every slot is serving is re-polled the
+        moment a slot frees instead of being lost (the multi-slot
+        generalization of the PR 1 lost-kick fix), and the common
+        kick-while-busy costs one integer bump instead of a walk over
+        every slot's wake event.
         """
-        for slot in self.slots:
-            slot.kick_pending = True
-            if not slot.kick_event.triggered:
+        self.kick_seq += 1
+        sleeping = self._sleeping
+        if sleeping:
+            if len(sleeping) > 1:
+                sleeping.sort(key=_slot_index)
+                if self.batch_pricing:
+                    self._preprice(len(sleeping))
+            for slot in sleeping:
                 slot.kick_event.succeed()
+            sleeping.clear()
+
+    def _preprice(self, limit: int) -> None:
+        """Pull up to *limit* queued requests and price them through one
+        ``service_time_batch`` call (fast-forward batch pricing).
+
+        Each pulled request opens its ``begin_service`` bracket here —
+        the slot that picks it up closes it — so the device prices the
+        whole same-tick cohort at its full concurrency instead of
+        watching ``active`` ramp up request by request.  Pricing is
+        channel-blind (``serving_channel`` stays None), which is why
+        fault-wrapped devices are never pre-priced.
+        """
+        scheduler = self.scheduler
+        batch: List[BlockRequest] = []
+        while len(batch) < limit:
+            request = scheduler.next_request()
+            if request is None:
+                break
+            batch.append(request)
+        if not batch:
+            return
+        device = self.device
+        for _ in batch:
+            device.begin_service()
+        durations = device.service_time_batch(
+            [r.op for r in batch],
+            [r.block for r in batch],
+            [r.nblocks for r in batch],
+        )
+        prepriced = self._prepriced
+        for request, duration in zip(batch, durations):
+            request.priced_duration = duration
+            prepriced.append(request)
 
     def _slot_loop(self, slot: DispatchSlot):
         env = self.env
         while True:
-            # Consume any pending kick *before* polling, so a kick that
-            # arrives during next_request() (or between a None poll and
-            # the event swap below) re-polls instead of being dropped.
-            slot.kick_pending = False
+            # Sync with the kick counter *before* polling, so a kick
+            # that arrives during next_request() (a submit issued from
+            # inside the scheduler) shows up as a counter mismatch and
+            # re-polls instead of being dropped.
+            slot.seen_seq = self.kick_seq
             # A pending hedge outranks fresh work: its request is
             # already past the deadline, so it is the tail right now.
             while self._pending_hedges:
@@ -340,14 +414,16 @@ class BlockQueue:
                 state = None
             if state is not None:
                 continue
-            request = self.scheduler.next_request()
+            if self._prepriced:
+                request = self._prepriced.popleft()
+            else:
+                request = self.scheduler.next_request()
             if request is None:
-                if slot.kick_pending:
+                if slot.seen_seq != self.kick_seq:
                     continue  # a kick raced in while the scheduler was polled
-                slot.kick_event = env.event()
-                if slot.kick_pending:
-                    continue  # a kick hit the stale event: re-poll, don't sleep
-                yield slot.kick_event
+                slot.kick_event = event = env.event()
+                self._sleeping.append(slot)
+                yield event
                 continue
 
             request.dispatch_time = env.now
@@ -392,7 +468,7 @@ class BlockQueue:
     def _serve(self, request: BlockRequest, slot: DispatchSlot):
         """Generator: serve one request on *slot*, retrying transient
         failures with per-slot attempt accounting."""
-        serve = getattr(self.device, "serve", None)
+        serve = self._device_serve
         if serve is not None:
             # Asynchronous device (e.g. a VM disk backed by a host
             # file): service time emerges from the backing stack.
@@ -419,29 +495,37 @@ class BlockQueue:
                     )
                 )
             error: Optional[DeviceError] = None
-            # The attempt occupies a device channel from here until its
-            # yield finishes (success, error latency, or timeout stall);
-            # channel-aware models read `device.active` inside
-            # service_time to price contention.
-            self.device.begin_service()
-            self.device.serving_channel = slot.index
-            try:
-                duration = self.device.service_time(
-                    request.op, request.block, request.nblocks
-                )
-            except DeviceError as exc:
-                self.device.serving_channel = None
-                if not exc.retryable:
-                    self.device.end_service()
-                    raise  # malformed request: a bug, not a device fault
-                error = exc
-                self.errors += 1
-                slot.errors += 1
-                if exc.latency > 0:
-                    yield self.env.timeout(exc.latency)
-                self.device.end_service()
+            duration = request.priced_duration
+            if duration is not None:
+                # Priced by kick()'s batch pass; the begin_service
+                # bracket is already open and batch pricing cannot
+                # raise (fault-wrapped devices are never pre-priced).
+                request.priced_duration = None
             else:
-                self.device.serving_channel = None
+                # The attempt occupies a device channel from here until
+                # its yield finishes (success, error latency, or timeout
+                # stall); channel-aware models read `device.active`
+                # inside service_time to price contention.
+                self.device.begin_service()
+                self.device.serving_channel = slot.index
+                try:
+                    duration = self.device.service_time(
+                        request.op, request.block, request.nblocks
+                    )
+                except DeviceError as exc:
+                    self.device.serving_channel = None
+                    if not exc.retryable:
+                        self.device.end_service()
+                        raise  # malformed request: a bug, not a device fault
+                    error = exc
+                    self.errors += 1
+                    slot.errors += 1
+                    if exc.latency > 0:
+                        yield self.env.timeout(exc.latency)
+                    self.device.end_service()
+                else:
+                    self.device.serving_channel = None
+            if error is None:
                 if self.request_timeout is not None and duration > self.request_timeout:
                     # The device stalled: the timeout fires and the
                     # attempt is abandoned after request_timeout seconds.

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cache.page import Page, PageKey
-from repro.core.tags import EMPTY_CAUSES, CauseSet, TagManager
+from repro.core.tags import EMPTY_CAUSES, TagManager
 from repro.obs.bus import PageCleaned, PageDirtied, PageFreed, StackBus
 from repro.units import GB, PAGE_SIZE
 

@@ -94,6 +94,7 @@ def cmd_run(args) -> int:
         trace=args.trace is not None,
         queue_depth=args.queue_depth,
         hedge=args.hedge,
+        fast_forward=args.fast_forward,
     )
     result = outcome.result
     if plan is not None:
@@ -143,6 +144,7 @@ def cmd_run_all(args) -> int:
         trace=args.trace is not None,
         queue_depth=args.queue_depth,
         hedge=args.hedge,
+        fast_forward=args.fast_forward,
         progress=lambda line: print(line, file=sys.stderr),
     )
     elapsed = time.perf_counter() - started
@@ -199,6 +201,17 @@ def _add_hedge_arg(parser) -> None:
              "monitor's adaptive deadline on a free dispatch slot "
              "(first completion wins); needs --queue-depth > 1 to have "
              "any effect",
+    )
+
+
+def _add_fast_forward_arg(parser) -> None:
+    parser.add_argument(
+        "--fast-forward", action="store_true",
+        help="replay steady-state read/write streams analytically "
+             "(closed-form clock and byte accounting) instead of "
+             "event-by-event; drops back to event-accurate mode on any "
+             "transient, and figure shapes are preserved (values may "
+             "differ in the last decimals)",
     )
 
 
@@ -259,6 +272,7 @@ def main(argv=None) -> int:
     )
     _add_queue_depth_arg(run_parser)
     _add_hedge_arg(run_parser)
+    _add_fast_forward_arg(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -286,6 +300,7 @@ def main(argv=None) -> int:
     )
     _add_queue_depth_arg(all_parser)
     _add_hedge_arg(all_parser)
+    _add_fast_forward_arg(all_parser)
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
 

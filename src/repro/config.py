@@ -173,6 +173,11 @@ class StackConfig:
     #: Health monitoring: None = auto (attach when hedging or a fault
     #: plan is active), a bool forces it, a HealthConfig/dict tunes it.
     health: Any = None
+    #: Analytical fast-forward (steady-state replay + batch pricing,
+    #: see repro.sim.fastforward): None defers to the session default
+    #: (off unless the CLI's ``--fast-forward`` set it); an explicit
+    #: bool pins it.
+    fast_forward: Optional[bool] = None
 
     def __post_init__(self):
         if self.queue_depth is not None and self.queue_depth < 1:
@@ -241,6 +246,7 @@ class StackConfig:
             "fault_seed": self.fault_seed,
             "hedge": self.hedge,
             "health": _health_to_dict(self.health),
+            "fast_forward": self.fast_forward,
         }
 
     @classmethod

@@ -18,7 +18,7 @@ the scheduler put the caller to sleep for as long as its policy wants
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict
 
 from repro.block.elevator import BlockScheduler
 

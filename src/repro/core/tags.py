@@ -13,7 +13,7 @@ proxy itself (Figure 7 in the paper).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable
 
 from repro.proc import Task
 

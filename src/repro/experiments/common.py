@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.config import StackConfig
 from repro.devices import HDD, SSD
 from repro.sim import Environment
 from repro.syscall.os import OS
-from repro.units import GB, MB
+from repro.units import GB
 
 #: Session-wide fault configuration: (FaultPlan, seed) or None.  Set by
 #: the CLI's --fault-* flags; when None, build_stack produces exactly
@@ -32,6 +32,10 @@ _default_queue_depth = 1
 #: Session-wide hedged-dispatch flag (the CLI's --hedge).  StackConfigs
 #: with hedge=None inherit it; an explicit config value always wins.
 _default_hedge = False
+#: Session-wide analytical fast-forward flag (the CLI's
+#: --fast-forward).  StackConfigs with fast_forward=None inherit it; an
+#: explicit config value always wins.
+_default_fast_forward = False
 
 
 def set_default_queue_depth(depth: int) -> None:
@@ -56,6 +60,17 @@ def set_default_hedge(hedge: bool) -> None:
 def default_hedge() -> bool:
     """The session hedge flag (False unless --hedge set it)."""
     return _default_hedge
+
+
+def set_default_fast_forward(fast_forward: bool) -> None:
+    """Install the session fast-forward flag for unpinned stacks."""
+    global _default_fast_forward
+    _default_fast_forward = bool(fast_forward)
+
+
+def default_fast_forward() -> bool:
+    """The session fast-forward flag (False unless --fast-forward)."""
+    return _default_fast_forward
 
 
 def enable_tracing() -> None:
@@ -214,6 +229,11 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
         config.queue_depth if config.queue_depth is not None else _default_queue_depth
     )
     hedge = config.hedge if config.hedge is not None else _default_hedge
+    fast_forward = (
+        config.fast_forward
+        if config.fast_forward is not None
+        else _default_fast_forward
+    )
     os_kwargs = dict(
         device=dev,
         scheduler=scheduler,
@@ -224,6 +244,7 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
         queue_depth=queue_depth,
         hedge=hedge,
         health=config.health,
+        fast_forward=fast_forward,
     )
     fs_class = config.make_fs_class()
     if fs_class is not None:

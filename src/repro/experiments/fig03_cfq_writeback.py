@@ -13,7 +13,6 @@ from typing import Dict
 from repro.config import StackConfig
 from repro.experiments.common import build_stack, run_for
 from repro.metrics.recorders import ThroughputTracker, deviation_from_ideal
-from repro.schedulers import make_scheduler
 from repro.units import GB, MB
 from repro.workloads import sequential_writer
 

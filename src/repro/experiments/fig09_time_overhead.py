@@ -12,8 +12,7 @@ from typing import Dict, List
 from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import make_scheduler
-from repro.units import GB, KB, MB, PAGE_SIZE
+from repro.units import KB, MB, PAGE_SIZE
 from repro.workloads import prefill_file
 
 

@@ -14,7 +14,6 @@ from typing import Dict, List
 from repro.cache.writeback import WritebackConfig
 from repro.config import StackConfig
 from repro.experiments.common import build_stack, run_for
-from repro.schedulers import make_scheduler
 from repro.units import GB, MB
 from repro.workloads import sequential_writer
 

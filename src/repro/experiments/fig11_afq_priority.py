@@ -14,7 +14,7 @@ from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker, deviation_from_ideal
 from repro.schedulers import make_scheduler
-from repro.units import GB, KB, MB
+from repro.units import GB, MB
 from repro.workloads import (
     prefill_file,
     random_writer_fsync,
@@ -131,3 +131,24 @@ def run(panel: str, scheduler: str, **kwargs) -> Dict:
     except KeyError:
         raise ValueError(f"panel must be one of {sorted(PANELS)}") from None
     return runner(scheduler, **kwargs)
+
+
+def cells(**kwargs):
+    """Parallelisable cells: one run per (panel, scheduler) pair."""
+    return [
+        (f"{panel}:{scheduler}", "run", dict(panel=panel, scheduler=scheduler, **kwargs))
+        for panel in PANELS
+        for scheduler in ("cfq", "afq")
+    ]
+
+
+def merge(pairs, **kwargs) -> Dict[str, Dict[str, Dict]]:
+    merged: Dict[str, Dict[str, Dict]] = {}
+    for label, result in pairs:
+        panel, scheduler = label.split(":")
+        merged.setdefault(panel, {})[scheduler] = result
+    return merged
+
+
+def run_comparison(**kwargs) -> Dict[str, Dict[str, Dict]]:
+    return merge([(label, run(**cell_kwargs)) for label, _func, cell_kwargs in cells(**kwargs)])

@@ -14,7 +14,7 @@ from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for
 from repro.metrics.recorders import ThroughputTracker
 from repro.schedulers import make_scheduler
-from repro.units import GB, KB, MB
+from repro.units import KB, MB
 from repro.workloads import (
     prefill_file,
     run_pattern_reader,

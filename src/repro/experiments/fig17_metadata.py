@@ -17,7 +17,7 @@ from repro.experiments.common import build_stack, drive, run_for
 from repro.fs.xfs import XFS
 from repro.metrics.recorders import ThroughputTracker
 from repro.schedulers import make_scheduler
-from repro.units import GB, KB, MB
+from repro.units import GB, MB
 from repro.workloads import prefill_file, sequential_reader
 
 

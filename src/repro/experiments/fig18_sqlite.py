@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.apps.sqlite import SQLiteDB
 from repro.config import StackConfig
-from repro.experiments.common import build_stack, drive, run_for
+from repro.experiments.common import build_stack, drive
 from repro.schedulers import make_scheduler
 from repro.units import MB
 

@@ -6,7 +6,7 @@ a throttled process B running some I/O pattern.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.config import StackConfig
 from repro.experiments.common import build_stack, drive, run_for

@@ -106,18 +106,23 @@ def merge_cell_results(
 
 
 def _worker_init(
-    fault_spec, trace: bool = False, queue_depth: int = 1, hedge: bool = False
+    fault_spec,
+    trace: bool = False,
+    queue_depth: int = 1,
+    hedge: bool = False,
+    fast_forward: bool = False,
 ) -> None:
     """Process-pool initialiser: re-install the session fault plan,
-    trace flag, block-layer queue depth, and hedge flag.
+    trace flag, block-layer queue depth, hedge flag, and fast-forward
+    flag.
 
     Workers are fresh interpreters (or forks taken before any plan was
     installed), so without this the ``--fault-*``, ``--trace``,
-    ``--queue-depth`` and ``--hedge`` flags would silently stop
-    applying under ``--jobs N``.  Cells whose kwargs carry a serialized
-    :class:`~repro.config.StackConfig` re-inflate it themselves via
-    ``StackConfig.from_dict`` — configs pin their own depth, so only
-    the session default travels here.
+    ``--queue-depth``, ``--hedge`` and ``--fast-forward`` flags would
+    silently stop applying under ``--jobs N``.  Cells whose kwargs
+    carry a serialized :class:`~repro.config.StackConfig` re-inflate it
+    themselves via ``StackConfig.from_dict`` — configs pin their own
+    depth, so only the session default travels here.
     """
     if fault_spec is not None:
         plan, seed = fault_spec
@@ -126,6 +131,7 @@ def _worker_init(
         common.enable_tracing()
     common.set_default_queue_depth(queue_depth)
     common.set_default_hedge(hedge)
+    common.set_default_fast_forward(fast_forward)
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
@@ -145,6 +151,7 @@ def execute_cells(
     trace: bool = False,
     queue_depth: int = 1,
     hedge: bool = False,
+    fast_forward: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
     """Execute *cells*, returning ``(result, faults, spans, seconds)``
@@ -156,7 +163,7 @@ def execute_cells(
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec, trace, queue_depth, hedge)
+        _worker_init(fault_spec, trace, queue_depth, hedge, fast_forward)
         try:
             out = []
             for cell in cells:
@@ -171,10 +178,11 @@ def execute_cells(
                 common.disable_tracing()
             common.set_default_queue_depth(1)
             common.set_default_hedge(False)
+            common.set_default_fast_forward(False)
 
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init,
-        initargs=(fault_spec, trace, queue_depth, hedge),
+        initargs=(fault_spec, trace, queue_depth, hedge, fast_forward),
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -196,6 +204,7 @@ def run_experiments(
     trace: bool = False,
     queue_depth: int = 1,
     hedge: bool = False,
+    fast_forward: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -220,7 +229,8 @@ def run_experiments(
 
     outcomes = execute_cells(
         all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
-        trace=trace, queue_depth=queue_depth, hedge=hedge, progress=progress,
+        trace=trace, queue_depth=queue_depth, hedge=hedge,
+        fast_forward=fast_forward, progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -247,11 +257,12 @@ def run_experiment(
     trace: bool = False,
     queue_depth: int = 1,
     hedge: bool = False,
+    fast_forward: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
     return run_experiments(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
         fault_seed=fault_seed, trace=trace, queue_depth=queue_depth,
-        hedge=hedge, progress=progress,
+        hedge=hedge, fast_forward=fast_forward, progress=progress,
     )[key]

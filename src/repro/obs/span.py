@@ -27,7 +27,7 @@ tables the ``trace-report`` CLI prints.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.bus import (
     BlockAdd,

@@ -22,7 +22,7 @@ cannot honor for buffered writes — Figure 1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 from repro.block.request import BlockRequest
 from repro.core.hooks import SplitScheduler

@@ -27,7 +27,7 @@ import bisect
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from repro.block.request import READ, WRITE, BlockRequest
+from repro.block.request import BlockRequest
 from repro.core.hooks import SplitScheduler
 from repro.sim.events import AllOf
 from repro.units import MB

@@ -93,10 +93,20 @@ class Event:
         self._ok = True
         self._value = value
         # Fused fast path for env.schedule(self): succeed() dominates
-        # event scheduling, so skip the method call and push directly.
+        # event scheduling, so skip the method call and insert directly.
+        # A succeeded event fires at the current instant, so it usually
+        # wins the environment's front slot and bypasses the heap.
         env = self.env
         env._eid += 1
-        heappush(env._queue, (env._now, NORMAL, env._eid, self))
+        entry = (env._now, NORMAL, env._eid, self)
+        nxt = env._next
+        if nxt is None:
+            env._next = entry
+        elif entry < nxt:
+            heappush(env._queue, nxt)
+            env._next = entry
+        else:
+            heappush(env._queue, entry)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -168,7 +178,15 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._eid += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        entry = (env._now + delay, NORMAL, env._eid, self)
+        nxt = env._next
+        if nxt is None:
+            env._next = entry
+        elif entry < nxt:
+            heappush(env._queue, nxt)
+            env._next = entry
+        else:
+            heappush(env._queue, entry)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -183,12 +201,23 @@ class Initialize(Event):
         self.env = env
         pool = env._cb_pool
         self.callbacks = pool.pop() if pool else []
-        self.callbacks.append(process._resume)
+        # The process object itself is the callback (Process.__call__
+        # aliases _resume): the run loop recognises it by type and
+        # resumes the generator without the callback indirection.
+        self.callbacks.append(process)
         self.defused = False
         self._ok = True
         self._value = None
         env._eid += 1
-        heappush(env._queue, (env._now, URGENT, env._eid, self))
+        entry = (env._now, URGENT, env._eid, self)
+        nxt = env._next
+        if nxt is None:
+            env._next = entry
+        elif entry < nxt:
+            heappush(env._queue, nxt)
+            env._next = entry
+        else:
+            heappush(env._queue, entry)
 
 
 class ConditionValue:

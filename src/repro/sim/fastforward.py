@@ -1,0 +1,322 @@
+"""Analytical fast-forward: replay steady-state syscall streams in
+closed form instead of event-by-event.
+
+Long simulations spend most of their wall-clock in *steady-state
+phases*: a reader streaming a file at a constant per-call cost (every
+page either a cache hit or a readahead-pipelined miss), or a writer
+overwriting an in-cache region at memory speed.  Event-accurate
+execution prices every one of those syscalls through the full stack —
+per-page cache operations, readahead, block requests, device pricing —
+even though each call is *identical* to the previous one.  In the
+spirit of CAWL's cache-aware write model and Boukhobza & Timsit's
+analytical disk simulation, this module detects such phases and
+advances them analytically: the clock moves by the measured per-call
+cost, per-tenant byte accounting moves by the measured per-call delta,
+and the whole cache/fs/block machinery is skipped.
+
+Detection is signature-based and conservative.  Per ``(task, inode,
+op)`` stream the controller measures every call's simulated cost and
+byte deltas; a stream becomes *replayable* after
+:data:`STEADY_THRESHOLD` consecutive calls that are sequential
+(``offset`` continues where the last call ended), identical in size,
+cost, and accounting delta, and undisturbed — no other stream issued a
+syscall, no writeback batch, journal transaction, fault injection, or
+health transition fired anywhere in the stack between or during them.
+Write streams must additionally be a cache *fixed point* (dirty bytes,
+cache occupancy, and file size unchanged by the call — a pure overwrite
+of already-dirty pages), so appends that are genuinely filling the
+cache toward a writeback threshold are never fast-forwarded.
+
+Any transient — a burst arrival, an fsync, a foreign syscall, a
+writeback or journal event, a fault, a health transition — bumps the
+stack-wide disturbance counter, and every stream drops back to
+event-accurate execution on its next call (replay is re-earned through
+a fresh measurement window).  Hedges and fault-plan activations are
+covered structurally: stacks whose device carries a fault injector are
+never given a controller at all, and hedging implies a health monitor
+whose transitions disturb.
+
+What replay preserves: simulated time, per-tenant ``bytes_read`` /
+``bytes_written``, syscall results, workload-visible behaviour, and
+scheduler entry/return hooks (they still run around every replayed
+call).  What it approximates: per-page cache state (replayed reads do
+not populate or touch pages; drop-back re-misses what would have been
+cached), fs/cache hit-miss counters, scheduler token billing for the
+skipped block I/O, and journal metadata joins from replayed overwrites.
+All of these only matter under contention — exactly when disturbance
+has already forced event-accurate mode — which is why figure *shapes*
+survive with fast-forward on while uncontended phases run an order of
+magnitude faster.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.obs.bus import (
+    BlockAdd,
+    BlockComplete,
+    FaultInjected,
+    HealthTransition,
+    JournalCheckpoint,
+    JournalTxnCommit,
+    JournalTxnOpen,
+    StackBus,
+    WritebackBatch,
+)
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+#: Consecutive identical, undisturbed calls before a stream replays.
+STEADY_THRESHOLD = 4
+#: Relative tolerance for "the same cost": float accumulation across
+#: different absolute clock values jitters in the last ulps; genuine
+#: contention moves costs by orders of magnitude more than this.
+REL_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * (abs(a) + abs(b) + 1e-30)
+
+
+class _Stream:
+    """Steady-state signature of one ``(task, inode, op)`` syscall run."""
+
+    __slots__ = (
+        "nbytes",
+        "cost",
+        "result",
+        "expected_offset",
+        "matches",
+        "activity",
+        "read_delta",
+        "write_delta",
+        "fixed_point",
+    )
+
+    def __init__(self):
+        self.nbytes = -1
+        self.cost = 0.0
+        self.result = 0
+        self.expected_offset = -1
+        self.matches = 0
+        #: Disturbance counter value when this stream last ran; replay
+        #: requires the world not to have moved since.
+        self.activity = -1
+        self.read_delta = 0.0
+        self.write_delta = 0.0
+        #: Write streams only: the measured call left cache occupancy,
+        #: dirty bytes, and file size unchanged (pure dirty overwrite).
+        self.fixed_point = False
+
+
+class FastForward:
+    """Per-stack steady-state detector and closed-form replayer.
+
+    Created by the OS facade when ``fast_forward`` is on (and the
+    device carries no fault injector); consulted by ``OS.read`` /
+    ``OS.write`` around the syscall body.  When off, no instance exists
+    anywhere — no bus subscriber, no branch beyond one ``is None``
+    check — so event-accurate runs are byte-identical with the feature
+    compiled in.
+    """
+
+    def __init__(self, env: "Environment", bus: StackBus):
+        self.env = env
+        self.bus = bus
+        #: Bumped by anything that can change what a steady-state call
+        #: would cost; compared against per-stream snapshots.
+        self.disturbance = 0
+        self._last_key: Optional[Tuple[int, int, str]] = None
+        self._streams: Dict[Tuple[int, int, str], _Stream] = {}
+        # -- instrumentation ------------------------------------------------
+        self.replayed = 0  # syscalls advanced in closed form
+        self.measured = 0  # syscalls run event-accurately under watch
+        self.replayed_seconds = 0.0  # simulated time advanced by replay
+        bus.subscribe(WritebackBatch, self._disturb)
+        bus.subscribe(JournalTxnOpen, self._disturb)
+        bus.subscribe(JournalTxnCommit, self._disturb)
+        bus.subscribe(JournalCheckpoint, self._disturb)
+        bus.subscribe(FaultInjected, self._disturb)
+        bus.subscribe(HealthTransition, self._disturb)
+        bus.subscribe(BlockAdd, self._block_write)
+        bus.subscribe(BlockComplete, self._block_write)
+
+    # -- disturbance tracking ----------------------------------------------
+
+    def _disturb(self, _event=None) -> None:
+        self.disturbance += 1
+
+    def _block_write(self, event) -> None:
+        # Write block I/O (writeback flushes, journal commits reaching
+        # the device) perturbs every stream — on submission AND on
+        # completion, so a drained batch still serving from the
+        # elevator keeps the stack event-accurate until the last write
+        # finishes.  Read I/O is the measured stream's own streaming
+        # and judged by its cost signature.
+        if not event.request.is_read:
+            self.disturbance += 1
+
+    def enter(self, task, call: str, info: dict) -> None:
+        """Syscall-entry hook: classify the call as steady or transient.
+
+        Reads and writes are only disturbing when they *switch
+        streams* — interleaved tenants invalidate each other, a single
+        stream invalidates nothing.  Everything else (fsync, creat,
+        truncate, unlink, mkdir) is a transient by definition.
+        """
+        if call == "read" or call == "write":
+            inode = info.get("inode")
+            key = (task.pid, inode.id if inode is not None else -1, call)
+            if key != self._last_key:
+                self._last_key = key
+                self.disturbance += 1
+        else:
+            self.disturbance += 1
+
+    # -- the read path -------------------------------------------------------
+
+    def read(self, os, task, inode, offset: int, nbytes: int):
+        """Generator: one buffered read, replayed or measured."""
+        key = (task.pid, inode.id, "read")
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = _Stream()
+        if (
+            stream.matches >= STEADY_THRESHOLD
+            and self.disturbance == stream.activity
+            and offset == stream.expected_offset
+            and nbytes == stream.nbytes
+            and stream.result > 0
+        ):
+            n = stream.result
+            stream.expected_offset = offset + n
+            task.bytes_read += stream.read_delta
+            task.bytes_written += stream.write_delta
+            # Keep the fs's sequential-read detector warm so a
+            # drop-back read still readaheads like its predecessors.
+            os.fs._last_read_end[inode.id] = (offset + n - 1) // PAGE_SIZE + 1
+            self.replayed += 1
+            self.replayed_seconds += stream.cost
+            yield self.env.timeout(stream.cost)
+            return n
+
+        env = self.env
+        start = env.now
+        before = self.disturbance
+        bytes_read = task.bytes_read
+        bytes_written = task.bytes_written
+        yield from os.cpu.consume(task, os.cpu.syscall_cost(nbytes))
+        n = yield from os.fs.read(task, inode, offset, nbytes)
+        self._note(
+            stream, offset, nbytes, n, env.now - start, before,
+            task.bytes_read - bytes_read, task.bytes_written - bytes_written,
+            fixed_point=True,
+        )
+        return n
+
+    # -- the write path ------------------------------------------------------
+
+    def write(self, os, task, inode, offset: int, nbytes: int):
+        """Generator: one buffered write, replayed or measured.
+
+        Replay additionally requires the measured call to have been a
+        cache fixed point — re-dirtying already-dirty, already-resident
+        pages without growing the file — so dirty-ratio dynamics are
+        never fast-forwarded past a threshold.
+        """
+        key = (task.pid, inode.id, "write")
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = self._streams[key] = _Stream()
+        if (
+            stream.matches >= STEADY_THRESHOLD
+            and stream.fixed_point
+            and self.disturbance == stream.activity
+            and offset == stream.expected_offset
+            and nbytes == stream.nbytes
+            and stream.result > 0
+        ):
+            n = stream.result
+            stream.expected_offset = offset + n
+            task.bytes_read += stream.read_delta
+            task.bytes_written += stream.write_delta
+            self.replayed += 1
+            self.replayed_seconds += stream.cost
+            yield self.env.timeout(stream.cost)
+            return n
+
+        env = self.env
+        cache = os.cache
+        start = env.now
+        before = self.disturbance
+        bytes_read = task.bytes_read
+        bytes_written = task.bytes_written
+        dirty_before = cache.dirty_bytes
+        pages_before = len(cache)
+        size_before = inode.size
+        yield from os.cpu.consume(task, os.cpu.syscall_cost(nbytes))
+        n = yield from os.fs.write(task, inode, offset, nbytes)
+        self._note(
+            stream, offset, nbytes, n, env.now - start, before,
+            task.bytes_read - bytes_read, task.bytes_written - bytes_written,
+            fixed_point=(
+                cache.dirty_bytes == dirty_before
+                and len(cache) == pages_before
+                and inode.size == size_before
+            ),
+        )
+        return n
+
+    # -- signature bookkeeping ----------------------------------------------
+
+    def _note(
+        self,
+        stream: _Stream,
+        offset: int,
+        nbytes: int,
+        result: int,
+        cost: float,
+        disturbance_before: int,
+        read_delta: float,
+        write_delta: float,
+        fixed_point: bool,
+    ) -> None:
+        """Fold one measured call into the stream's signature."""
+        self.measured += 1
+        if (
+            stream.activity == disturbance_before
+            and self.disturbance == disturbance_before
+            and offset == stream.expected_offset
+            and nbytes == stream.nbytes
+            and result == stream.result
+            and fixed_point == stream.fixed_point
+            and _close(cost, stream.cost)
+            and _close(read_delta, stream.read_delta)
+            and _close(write_delta, stream.write_delta)
+        ):
+            stream.matches += 1
+        else:
+            stream.matches = 1
+            stream.nbytes = nbytes
+            stream.result = result
+            stream.cost = cost
+            stream.read_delta = read_delta
+            stream.write_delta = write_delta
+            stream.fixed_point = fixed_point
+        stream.expected_offset = offset + result
+        stream.activity = self.disturbance
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Replay statistics for reports and benchmarks."""
+        total = self.replayed + self.measured
+        return {
+            "replayed_syscalls": self.replayed,
+            "measured_syscalls": self.measured,
+            "replay_fraction": self.replayed / total if total else 0.0,
+            "replayed_seconds": self.replayed_seconds,
+        }

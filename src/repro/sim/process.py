@@ -55,10 +55,11 @@ class Process(Event):
             raise RuntimeError("a process is not allowed to interrupt itself")
 
         # Unsubscribe from whatever we were waiting on so the original
-        # event cannot resume this process a second time.
+        # event cannot resume this process a second time.  Processes
+        # subscribe as themselves (Process.__call__ aliases _resume).
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self)
             except ValueError:
                 pass
         self._target = None
@@ -69,7 +70,7 @@ class Process(Event):
         interrupt_event.defused = True
         # Deliver before any other event at this instant.
         interrupt_event.callbacks = []
-        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.callbacks.append(self)
         from repro.sim.core import URGENT
 
         self.env.schedule(interrupt_event, priority=URGENT)
@@ -109,7 +110,10 @@ class Process(Event):
             callbacks = next_event.callbacks
             if callbacks is not None:
                 # Event not yet processed: subscribe and go to sleep.
-                callbacks.append(self._resume)
+                # The process itself is the callback — no bound-method
+                # allocation, and the run loop's inlined resume path
+                # recognises it by type.
+                callbacks.append(self)
                 self._target = next_event
                 break
 
@@ -117,6 +121,10 @@ class Process(Event):
             event = next_event
 
         env.active_process = None
+
+    #: Calling a process delivers an event outcome to it, so a Process
+    #: can sit directly in an event's callback list.
+    __call__ = _resume
 
     def __repr__(self) -> str:
         return f"<Process {self.name} alive={self.is_alive}>"

@@ -94,6 +94,7 @@ class OS:
         queue_depth: int = 1,
         hedge: bool = False,
         health: Any = None,
+        fast_forward: bool = False,
     ):
         self.env = env
         #: One stack event bus shared by every layer of this machine.
@@ -141,9 +142,22 @@ class OS:
             )
         self.health = monitor
 
+        # Fast-forward: replay steady-state read/write streams in
+        # closed form (see repro.sim.fastforward).  Stacks with a fault
+        # injector stay event-accurate — injected faults must hit every
+        # real operation — and when the flag is off no controller (and
+        # no bus subscriber) exists at all, so default runs are
+        # byte-identical.
+        self.fastforward = None
+        if fast_forward and not hasattr(self.device, "injector"):
+            from repro.sim.fastforward import FastForward
+
+            self.fastforward = FastForward(env, self.bus)
+
         self.block_queue = BlockQueue(
             env, self.device, elevator, self.process_table, bus=self.bus,
             queue_depth=queue_depth, hedge=hedge, health=monitor,
+            batch_pricing=fast_forward,
         )
         self.cache = PageCache(env, self.tags, memory_bytes, bus=self.bus)
         self.fs = fs_class(
@@ -173,6 +187,8 @@ class OS:
     def _entry(self, task: Task, call: str, info: Dict[str, Any]):
         if self._sub_sys_enter:
             self.bus.publish(SyscallEnter(self.env.now, task, call, info))
+        if self.fastforward is not None:
+            self.fastforward.enter(task, call, info)
         if self.scheduler is not None:
             gen = self.scheduler.syscall_entry(task, call, info)
             if gen is not None:
@@ -222,10 +238,13 @@ class OS:
         """
         info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
         yield from self._entry(task, "read", info)
-        yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
         if direct:
+            yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
             n = yield from self.fs.read_direct(task, inode, offset, nbytes)
+        elif self.fastforward is not None:
+            n = yield from self.fastforward.read(self, task, inode, offset, nbytes)
         else:
+            yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
             n = yield from self.fs.read(task, inode, offset, nbytes)
         info["result"] = n
         self._return(task, "read", info)
@@ -238,10 +257,13 @@ class OS:
         """
         info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
         yield from self._entry(task, "write", info)
-        yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
         if direct:
+            yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
             n = yield from self.fs.write_direct(task, inode, offset, nbytes)
+        elif self.fastforward is not None:
+            n = yield from self.fastforward.write(self, task, inode, offset, nbytes)
         else:
+            yield from self.cpu.consume(task, self.cpu.syscall_cost(nbytes))
             n = yield from self.fs.write(task, inode, offset, nbytes)
         info["result"] = n
         self._return(task, "write", info)

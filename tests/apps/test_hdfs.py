@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Environment, MB
-from repro.apps.hdfs import DataNode, HDFSCluster
+from repro.apps.hdfs import HDFSCluster
 from repro.metrics import ThroughputTracker
 from repro.schedulers import SplitToken
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Environment, OS, SSD, KB, MB
-from repro.apps.qemu import FileBackedDevice, QemuVM
+from repro.apps.qemu import QemuVM
 from repro.schedulers import Noop, SplitToken
 
 

@@ -1,6 +1,5 @@
 """SQLite under Split-Deadline: the §7.1.1 configuration end-to-end."""
 
-import pytest
 
 from repro import Environment, OS, HDD, MB
 from repro.apps.sqlite import SQLiteDB

@@ -7,7 +7,7 @@ from repro.cache import PageCache, PageKey
 from repro.core.tags import TagManager
 from repro.proc import Task
 from repro.sim import Environment
-from repro.units import MB, PAGE_SIZE
+from repro.units import PAGE_SIZE
 
 
 class CacheMachine:

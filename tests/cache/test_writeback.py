@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Environment, OS, SSD, HDD, KB, MB
+from repro import Environment, OS, SSD, KB, MB
 from repro.cache.writeback import WritebackConfig
 from repro.schedulers.noop import Noop
 

@@ -10,7 +10,7 @@ from repro.core.tags import TagManager
 from repro.devices import HDD, SSD
 from repro.proc import Task
 from repro.sim import Environment
-from repro.units import KB, MB, PAGE_SIZE
+from repro.units import MB, PAGE_SIZE
 
 
 def make_page(inode_id, index):

@@ -1,7 +1,6 @@
 """Framework wiring details across scheduler kinds."""
 
 from repro import Environment, OS, SSD, MB
-from repro.core.framework import SplitFramework
 from repro.schedulers import CFQ, SCSToken, SplitToken
 
 

@@ -1,0 +1,158 @@
+"""Property-style tests: service_time_batch == looped service_time.
+
+The batch API exists purely to amortise Python call overhead; it must
+be element-wise *identical* (same floats, same stats, same internal
+state) to pricing the same pattern through service_time one call at a
+time, for every device model, op mix, and channel-contention state.
+"""
+
+import random
+
+import pytest
+
+from repro.devices import HDD, RAID0, SSD, JitteryDevice
+from repro.faults import FaultInjector, FaultPlan, FaultyDevice, MediumError
+from repro.sim import Environment
+from repro.sim.rand import RandomStreams
+
+
+def make_pattern(seed, length=200, capacity=100_000):
+    """A seeded mix of sequential runs and random jumps, reads and writes."""
+    rng = random.Random(seed)
+    ops, blocks, nblocks = [], [], []
+    block = 0
+    for _ in range(length):
+        if rng.random() < 0.5 and block < capacity - 256:
+            pass  # sequential: continue from the previous end
+        else:
+            block = rng.randrange(0, capacity - 256)
+        count = rng.choice([1, 4, 8, 32, 64])
+        ops.append(rng.choice(["read", "write"]))
+        blocks.append(block)
+        nblocks.append(count)
+        block += count
+    return ops, blocks, nblocks
+
+
+def faulty(inner, **plan_kwargs):
+    env = Environment()
+    injector = FaultInjector(env, FaultPlan(**plan_kwargs), RandomStreams(7))
+    return FaultyDevice(inner, injector)
+
+
+DEVICE_FACTORIES = {
+    "hdd": lambda: HDD(capacity_blocks=100_000),
+    "ssd": lambda: SSD(capacity_blocks=100_000),
+    "raid0": lambda: RAID0(
+        [HDD(capacity_blocks=100_000), SSD(capacity_blocks=100_000)],
+        stripe_blocks=16,
+    ),
+    "jittery": lambda: JitteryDevice(
+        SSD(capacity_blocks=100_000), spike_probability=0.2, seed=3
+    ),
+    "faulty-clean": lambda: faulty(HDD(capacity_blocks=100_000)),
+    "faulty-slow": lambda: faulty(
+        SSD(capacity_blocks=100_000),
+        slow_factor=2.5,
+        stall_prob=0.1,
+        stall_duration=0.5,
+    ),
+}
+
+
+def state_snapshot(device):
+    stats = device.stats
+    snap = {
+        "last": device._last_block_end,
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "busy_time": stats.busy_time,
+        "seeks": stats.seeks,
+    }
+    inner = getattr(device, "inner", None)
+    if inner is not None:
+        snap["inner"] = state_snapshot(inner)
+    members = getattr(device, "members", None)
+    if members is not None:
+        snap["members"] = [state_snapshot(m) for m in members]
+    return snap
+
+
+@pytest.mark.parametrize("name", sorted(DEVICE_FACTORIES))
+@pytest.mark.parametrize("active", [0, 1, 3, 10])
+def test_batch_matches_scalar_loop(name, active):
+    """Same pattern, same channel state: identical floats and stats."""
+    scalar_dev = DEVICE_FACTORIES[name]()
+    batch_dev = DEVICE_FACTORIES[name]()
+    scalar_dev.active = batch_dev.active = active
+    ops, blocks, nblocks = make_pattern(seed=active + 11)
+
+    scalar = [
+        scalar_dev.service_time(op, block, count)
+        for op, block, count in zip(ops, blocks, nblocks)
+    ]
+    batch = batch_dev.service_time_batch(ops, blocks, nblocks)
+
+    assert batch == scalar  # exact float equality, element-wise
+    assert state_snapshot(batch_dev) == state_snapshot(scalar_dev)
+
+
+def test_batch_interleaves_with_scalar_calls():
+    """State left by a batch must be exactly the state a loop leaves."""
+    a, b = HDD(capacity_blocks=100_000), HDD(capacity_blocks=100_000)
+    ops, blocks, nblocks = make_pattern(seed=1, length=50)
+    half = 25
+    for op, block, count in zip(ops[:half], blocks[:half], nblocks[:half]):
+        a.service_time(op, block, count)
+    b.service_time_batch(ops[:half], blocks[:half], nblocks[:half])
+    tail_a = [
+        a.service_time(op, block, count)
+        for op, block, count in zip(ops[half:], blocks[half:], nblocks[half:])
+    ]
+    tail_b = b.service_time_batch(ops[half:], blocks[half:], nblocks[half:])
+    assert tail_a == tail_b
+
+
+def test_faulty_batch_raises_like_the_loop():
+    """An injected error surfaces at the same element, with the same
+    prefix applied, as a scalar pricing loop."""
+    scalar_dev = faulty(SSD(capacity_blocks=100_000), write_error_prob=0.3)
+    batch_dev = faulty(SSD(capacity_blocks=100_000), write_error_prob=0.3)
+    ops, blocks, nblocks = make_pattern(seed=5, length=60)
+    ops = ["write"] * len(ops)
+
+    scalar = []
+    scalar_error = None
+    for op, block, count in zip(ops, blocks, nblocks):
+        try:
+            scalar.append(scalar_dev.service_time(op, block, count))
+        except MediumError as exc:
+            scalar_error = exc
+            break
+    assert scalar_error is not None, "pattern should trip the injector"
+
+    with pytest.raises(MediumError) as info:
+        batch_dev.service_time_batch(ops, blocks, nblocks)
+    assert str(info.value) == str(scalar_error)
+    assert state_snapshot(batch_dev) == state_snapshot(scalar_dev)
+
+
+def test_base_class_fallback_loops():
+    """A device that only implements service_time still gets batch pricing."""
+    from repro.devices.base import Device
+
+    class Flat(Device):
+        def service_time(self, op, block, nblocks):
+            self._check_bounds(block, nblocks)
+            duration = 0.001 * nblocks
+            self._last_block_end = block + nblocks
+            self._account(op, nblocks, duration)
+            return duration
+
+    dev = Flat(capacity_blocks=1000)
+    assert dev.service_time_batch(
+        ["read", "write"], [0, 10], [4, 8]
+    ) == [0.004, 0.008]
+    assert dev.stats.reads == 1 and dev.stats.writes == 1

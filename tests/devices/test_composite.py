@@ -74,7 +74,7 @@ def test_jittery_zero_probability_matches_inner():
 
 
 def test_jittery_works_in_full_stack():
-    from repro import Environment, OS, KB
+    from repro import Environment, OS
     from repro.schedulers import Noop
 
     env = Environment()

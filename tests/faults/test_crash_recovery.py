@@ -1,6 +1,5 @@
 """Power-loss crash and journal-recovery tests (ordered-mode invariant)."""
 
-import pytest
 
 from repro import KB, MB, Environment, OS
 from repro.devices import HDD, SSD
@@ -12,7 +11,7 @@ from repro.faults import (
     crash_and_recover,
     recover,
 )
-from repro.fs.journal import CommitRecord, Transaction
+from repro.fs.journal import CommitRecord
 from repro.schedulers.noop import Noop
 from repro.sim.rand import RandomStreams
 

@@ -1,6 +1,5 @@
 """Tests for the O_DIRECT read/write paths."""
 
-import pytest
 
 from repro import Environment, OS, SSD, KB, MB
 from repro.cache.page import PageKey

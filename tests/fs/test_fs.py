@@ -4,7 +4,6 @@ import pytest
 
 from repro import Environment, OS, HDD, SSD, KB, MB
 from repro.cache.page import PageKey
-from repro.core.tags import CauseSet
 from repro.fs.xfs import XFS
 from repro.schedulers.noop import Noop
 from repro.units import PAGE_SIZE

@@ -1,6 +1,5 @@
 """Tests for the journal: transactions, ordered mode, proxy tagging."""
 
-import pytest
 
 from repro import Environment, OS, SSD, KB, MB
 from repro.fs.journal import Transaction

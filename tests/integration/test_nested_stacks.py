@@ -1,6 +1,5 @@
 """Integration tests for nested (VM) stacks with guest-side schedulers."""
 
-import pytest
 
 from repro import Environment, OS, HDD, SSD, KB, MB
 from repro.apps.qemu import QemuVM

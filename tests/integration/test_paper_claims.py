@@ -5,9 +5,8 @@ fast (seconds-long) versions of the most important claims so plain
 ``pytest tests/`` already guards the reproduction.
 """
 
-import pytest
 
-from repro import Environment, OS, HDD, SSD, KB, MB
+from repro import Environment, OS, HDD, KB, MB
 from repro.metrics import LatencyRecorder, ThroughputTracker, deviation_from_ideal
 from repro.schedulers import AFQ, BlockDeadline, CFQ, SplitDeadline, SplitToken
 from repro.workloads import (

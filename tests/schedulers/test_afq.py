@@ -1,10 +1,8 @@
 """Unit tests for AFQ's split-level mechanics."""
 
-import pytest
 
 from repro import Environment, OS, SSD, HDD, KB, MB
 from repro.schedulers import AFQ
-from repro.workloads import prefill_file
 
 
 def make_os(device=None, **afq_kwargs):

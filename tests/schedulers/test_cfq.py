@@ -1,7 +1,7 @@
 """Tests for the CFQ elevator model."""
 
 from repro.block import BlockQueue, BlockRequest
-from repro.block.request import READ, WRITE
+from repro.block.request import READ
 from repro.devices import HDD, SSD
 from repro.proc import ProcessTable
 from repro.schedulers.cfq import CFQ, priority_weight

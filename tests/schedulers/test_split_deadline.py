@@ -1,10 +1,8 @@
 """Unit tests for Split-Deadline's fsync scheduling."""
 
-import pytest
 
 from repro import Environment, OS, SSD, HDD, KB, MB
 from repro.schedulers import SplitDeadline
-from repro.workloads import prefill_file
 
 
 def make_os(device=None, writeback_enabled=True, **kwargs):

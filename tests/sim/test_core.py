@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Event, Timeout
+from repro.sim import Environment
 
 
 def test_clock_starts_at_zero():

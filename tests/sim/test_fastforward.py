@@ -1,0 +1,234 @@
+"""Analytical fast-forward: detection, replay, drop-back, inertness.
+
+The controller (repro.sim.fastforward) may only replay a syscall when
+doing so is observationally safe: same simulated time, same tenant
+accounting, same results.  These tests pin the engagement rules — a
+steady stream replays, any transient drops it back to event-accurate
+execution, fault-injected stacks never get a controller — and the
+inertness guarantee that an off-by-default stack carries no trace of
+the feature.
+"""
+
+import pytest
+
+from repro.config import StackConfig
+from repro.experiments import common
+from repro.experiments.common import build_stack, drive
+from repro.obs.bus import WritebackBatch
+from repro.sim.fastforward import STEADY_THRESHOLD
+from repro.units import MB, PAGE_SIZE
+from repro.workloads import prefill_file
+
+
+def _stream_stack(fast_forward, **overrides):
+    """A small stack with a 16 MB prefilled file ready to stream."""
+    config = StackConfig(
+        device="hdd", memory_bytes=64 * MB, fast_forward=fast_forward, **overrides
+    )
+    env, machine = build_stack(config)
+    task = machine.spawn("setup")
+    drive(env, prefill_file(machine, task, "/data", 16 * MB, drop=False))
+    return env, machine
+
+
+def _read_stream(machine, task, nbytes=1 * MB, calls=None):
+    """Sequentially read /data, wrapping; stop after *calls* reads."""
+    handle = yield from machine.open(task, "/data")
+    size = handle.inode.size
+    offset = 0
+    done = 0
+    while calls is None or done < calls:
+        n = yield from handle.pread(offset, min(nbytes, size - offset))
+        offset = (offset + n) % size
+        done += 1
+    return done
+
+
+# -- engagement -----------------------------------------------------------
+
+
+def test_steady_read_stream_replays():
+    env, machine = _stream_stack(fast_forward=True)
+    assert machine.fastforward is not None
+    reader = machine.spawn("reader")
+    drive(env, _read_stream(machine, reader, calls=12))
+    stats = machine.fastforward.summary()
+    # The first STEADY_THRESHOLD calls measure; the rest of the pass
+    # replays (16 reads per wrap, well past the threshold).
+    assert stats["replayed_syscalls"] > 0
+    assert stats["measured_syscalls"] >= STEADY_THRESHOLD
+    assert stats["replayed_seconds"] > 0
+
+
+def test_replay_preserves_time_and_accounting():
+    """A replayed stream lands on the same clock and byte counters."""
+    results = {}
+    for ff in (False, True):
+        env, machine = _stream_stack(fast_forward=ff)
+        reader = machine.spawn("reader")
+        drive(env, _read_stream(machine, reader, calls=30))
+        results[ff] = (env.now, reader.bytes_read)
+    t_off, bytes_off = results[False]
+    t_on, bytes_on = results[True]
+    assert bytes_on == pytest.approx(bytes_off, rel=1e-9)
+    assert t_on == pytest.approx(t_off, rel=1e-6)
+
+
+def test_replay_preserves_syscall_results():
+    env, machine = _stream_stack(fast_forward=True)
+    reader = machine.spawn("reader")
+
+    def body():
+        handle = yield from machine.open(reader, "/data")
+        sizes = []
+        offset = 0
+        for _ in range(20):
+            n = yield from handle.pread(offset, 1 * MB)
+            sizes.append(n)
+            offset = (offset + n) % handle.inode.size
+        return sizes
+
+    sizes = drive(env, body())
+    assert sizes == [1 * MB] * 20
+    assert machine.fastforward.replayed > 0
+
+
+def test_overwrite_stream_replays_but_append_never_does():
+    """Writes replay only at a cache fixed point (pure dirty overwrite)."""
+    env, machine = _stream_stack(fast_forward=True)
+    writer = machine.spawn("writer")
+
+    def overwrite():
+        handle = yield from machine.open(writer, "/data")
+        # Dirty the region once (not a fixed point: pages go
+        # clean->dirty), then overwrite it repeatedly (fixed point).
+        for _ in range(3):
+            offset = 0
+            for _ in range(8):
+                n = yield from handle.pwrite(offset, 1 * MB)
+                offset += n
+
+    drive(env, overwrite())
+    assert machine.fastforward.replayed > 0
+
+    env2, machine2 = _stream_stack(fast_forward=True)
+    appender = machine2.spawn("appender")
+
+    def append():
+        handle = yield from machine2.open(appender, "/data")
+        for _ in range(32):
+            yield from handle.append(64 * PAGE_SIZE)
+
+    drive(env2, append())
+    # Appends grow the file and the cache: never a fixed point.
+    assert machine2.fastforward.replayed == 0
+
+
+# -- drop-back ------------------------------------------------------------
+
+
+def test_foreign_syscall_drops_stream_back():
+    env, machine = _stream_stack(fast_forward=True)
+    reader = machine.spawn("reader")
+    drive(env, _read_stream(machine, reader, calls=10))
+    ff = machine.fastforward
+    replayed_before = ff.replayed
+    assert replayed_before > 0
+
+    # A transient from another tenant: fsync bumps the disturbance
+    # counter, so the very next read must be measured, not replayed.
+    other = machine.spawn("other")
+
+    def transient():
+        handle = yield from machine.open(other, "/data")
+        yield from handle.fsync()
+
+    drive(env, transient())
+    measured_before = ff.measured
+    drive(env, _read_stream(machine, reader, calls=1))
+    assert ff.measured == measured_before + 1
+    assert ff.replayed == replayed_before
+
+
+def test_stream_reearns_replay_after_dropback():
+    env, machine = _stream_stack(fast_forward=True)
+    reader = machine.spawn("reader")
+    drive(env, _read_stream(machine, reader, calls=10))
+    ff = machine.fastforward
+    ff.disturbance += 1  # any transient
+    replayed_before = ff.replayed
+    drive(env, _read_stream(machine, reader, calls=STEADY_THRESHOLD + 4))
+    # Re-measured through a fresh window, then replayed again.
+    assert ff.replayed > replayed_before
+
+
+def test_interleaved_streams_disturb_each_other():
+    env, machine = _stream_stack(fast_forward=True)
+    a = machine.spawn("a")
+    b = machine.spawn("b")
+
+    def interleaved():
+        ha = yield from machine.open(a, "/data")
+        hb = yield from machine.open(b, "/data")
+        offset = 0
+        for _ in range(STEADY_THRESHOLD * 4):
+            na = yield from machine.read(a, ha.inode, offset, 1 * MB)
+            yield from machine.read(b, hb.inode, offset, 1 * MB)
+            offset = (offset + na) % ha.inode.size
+
+    drive(env, interleaved())
+    # Every call switches streams, so nothing ever reaches the
+    # steady threshold.
+    assert machine.fastforward.replayed == 0
+
+
+def test_write_block_io_disturbs():
+    env, machine = _stream_stack(fast_forward=True)
+    ff = machine.fastforward
+    before = ff.disturbance
+    machine.bus.publish(WritebackBatch(env.now, npages=4, reason="background"))
+    assert ff.disturbance == before + 1
+
+
+# -- structural guards ----------------------------------------------------
+
+
+def test_off_stack_is_inert():
+    """fast_forward=False leaves no controller and no bus subscribers."""
+    env, machine = _stream_stack(fast_forward=False)
+    assert machine.fastforward is None
+    assert not machine.bus.listeners(WritebackBatch)
+
+
+def test_fault_injected_stack_never_gets_a_controller():
+    config = StackConfig(
+        device="hdd",
+        memory_bytes=64 * MB,
+        fast_forward=True,
+        fault_plan={"read_error_prob": 0.5},
+    )
+    env, machine = build_stack(config)
+    assert machine.fastforward is None
+
+
+def test_session_default_and_config_pin():
+    try:
+        common.set_default_fast_forward(True)
+        env, machine = build_stack(StackConfig(device="hdd", memory_bytes=64 * MB))
+        assert machine.fastforward is not None
+        # An explicit config bool overrides the session default.
+        env, machine = build_stack(
+            StackConfig(device="hdd", memory_bytes=64 * MB, fast_forward=False)
+        )
+        assert machine.fastforward is None
+    finally:
+        common.set_default_fast_forward(False)
+    env, machine = build_stack(StackConfig(device="hdd", memory_bytes=64 * MB))
+    assert machine.fastforward is None
+
+
+def test_config_roundtrips_fast_forward():
+    config = StackConfig(fast_forward=True)
+    assert StackConfig.from_dict(config.to_dict()).fast_forward is True
+    config = StackConfig()
+    assert StackConfig.from_dict(config.to_dict()).fast_forward is None

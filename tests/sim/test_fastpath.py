@@ -8,8 +8,6 @@ per-event dict allocations or an O(n) heap removal.
 import pytest
 
 from repro.sim import Environment
-from repro.sim.events import Event, Timeout
-from repro.sim.process import Process
 
 
 def test_hot_objects_have_no_instance_dict():

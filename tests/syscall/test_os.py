@@ -4,7 +4,7 @@ import pytest
 
 from repro import Environment, OS, SSD, KB, MB
 from repro.core.hooks import SchedulerHooks
-from repro.schedulers import CFQ, Noop, SplitNoop
+from repro.schedulers import CFQ, SplitNoop
 from repro.syscall.cpu import CPU
 
 

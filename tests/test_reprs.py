@@ -1,7 +1,7 @@
 """Smoke tests for repr/debug output (useful in logs, never crashing)."""
 
 from repro.block.request import BlockRequest, READ
-from repro.cache.page import Page, PageKey
+from repro.cache.page import PageKey
 from repro.core.tags import CauseSet
 from repro.devices import DeviceStats, HDD
 from repro.fs.inode import Inode

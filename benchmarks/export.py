@@ -265,6 +265,46 @@ def bench_mq_dispatch(repeats: int) -> dict:
     }
 
 
+def bench_shard_sync(repeats: int) -> dict:
+    """Epoch-barrier overhead of the sharded simulation core.
+
+    Steps a 4-node, 2-shard fleet (inline vehicles — no process startup
+    noise) through 1000 conservative-sync epochs with no client
+    traffic, so the time measured is purely the coordination machinery:
+    channel window scans, per-shard injection, event-loop advances to
+    the barrier, and outbox drains.  ``epochs_per_sec`` is the gated
+    metric; real cluster runs add workload cost on top of this floor.
+    """
+    from repro.config import ClusterConfig, TenantContract
+    from repro.sim.shard import ShardedRun
+
+    epochs = 1000
+    link = 0.5e-3
+    cluster = ClusterConfig(
+        nodes=4, replication=2, link_latency=link,
+        tenants=(TenantContract("idle"),),
+    )
+
+    stepped = [epochs]
+
+    def run():
+        sharded = ShardedRun(
+            cluster, [], duration=epochs * link, shards=2, processes=False,
+        )
+        sharded.run()
+        stepped[0] = sharded.epochs_run  # ±1 of `epochs` (float boundary)
+
+    run()  # warm-up
+    best = _best_of(run, repeats)
+    return {
+        "epochs": stepped[0],
+        "shards": 2,
+        "nodes": 4,
+        "us_per_epoch": round(best * 1e6 / stepped[0], 3),
+        "epochs_per_sec": round(stepped[0] / best),
+    }
+
+
 MICROBENCHES = {
     "event_loop": bench_event_loop,
     "event_cohort": bench_event_cohort,
@@ -273,6 +313,7 @@ MICROBENCHES = {
     "cache_mark_dirty": bench_cache_mark_dirty,
     "cache_hit_lookup": bench_cache_hit_lookup,
     "mq_dispatch": bench_mq_dispatch,
+    "shard_sync": bench_shard_sync,
 }
 
 #: Representative experiments timed for the suite wall-clock entry —
@@ -354,6 +395,7 @@ GATED_METRICS = (
     ("event_cohort", "events_per_sec"),
     ("mq_dispatch", "requests_per_sec"),
     ("fast_forward", "speedup"),
+    ("shard_sync", "epochs_per_sec"),
 )
 
 

@@ -95,6 +95,7 @@ def cmd_run(args) -> int:
         queue_depth=args.queue_depth,
         hedge=args.hedge,
         fast_forward=args.fast_forward,
+        shards=args.shards,
     )
     result = outcome.result
     if plan is not None:
@@ -145,6 +146,7 @@ def cmd_run_all(args) -> int:
         queue_depth=args.queue_depth,
         hedge=args.hedge,
         fast_forward=args.fast_forward,
+        shards=args.shards,
         progress=lambda line: print(line, file=sys.stderr),
     )
     elapsed = time.perf_counter() - started
@@ -201,6 +203,16 @@ def _add_hedge_arg(parser) -> None:
              "monitor's adaptive deadline on a free dispatch slot "
              "(first completion wins); needs --queue-depth > 1 to have "
              "any effect",
+    )
+
+
+def _add_shards_arg(parser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition cluster experiments (fig21, fig24) into N shard "
+             "Environments advancing in lockstep epochs, one worker "
+             "process per shard; results are byte-identical for any N "
+             "(single-stack experiments ignore this)",
     )
 
 
@@ -273,6 +285,7 @@ def main(argv=None) -> int:
     _add_queue_depth_arg(run_parser)
     _add_hedge_arg(run_parser)
     _add_fast_forward_arg(run_parser)
+    _add_shards_arg(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -301,6 +314,7 @@ def main(argv=None) -> int:
     _add_queue_depth_arg(all_parser)
     _add_hedge_arg(all_parser)
     _add_fast_forward_arg(all_parser)
+    _add_shards_arg(all_parser)
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
 

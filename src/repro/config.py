@@ -22,10 +22,10 @@ the nameable forms because a worker must be able to rebuild the object.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
-from repro.units import GB
+from repro.units import GB, MB
 
 #: Filesystem registry: serializable name -> class path resolver.
 FS_NAMES = ("ext4", "xfs")
@@ -264,3 +264,132 @@ class StackConfig:
             cls._LEGACY_KWARGS.get(key, key): value for key, value in kwargs.items()
         }
         return cls(**mapped)
+
+
+# ---------------------------------------------------------------------------
+# cluster-level configuration (the sharded simulation core)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantContract:
+    """One tenant's Split-Token contract, enforced on every node.
+
+    ``rate_per_node`` is the normalized-bytes/second cap the tenant's
+    local account is throttled to on each node it touches (None means
+    unthrottled — the tenant competes freely).  The cluster-wide write
+    bound follows as ``(rate_per_node / replication) * nodes``, exactly
+    the dashed upper bound of the paper's Figure 21.
+    """
+
+    name: str
+    rate_per_node: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "rate_per_node": self.rate_per_node}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TenantContract":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A fleet of simulated machines plus topology and tenant contracts.
+
+    Where :class:`StackConfig` describes one machine, a ClusterConfig
+    describes *N* of them: a node template (``node``), per-node
+    overrides for heterogeneous fleets (``node_overrides`` — e.g. a
+    fault plan targeting only a subset of nodes), the replication
+    factor and block/chunk sizes of the pipelined write path, the
+    inter-node ``link_latency`` (which bounds the conservative sync
+    window: shards advance in lockstep epochs no wider than the
+    minimum cross-shard link latency), and the tenants whose
+    Split-Token contracts every node enforces locally.
+
+    Like StackConfig it is pure description — :mod:`repro.sim.shard`
+    builds the actual per-shard environments from it, and
+    :meth:`to_dict` / :meth:`from_dict` round-trip it across process
+    boundaries so shard workers rebuild identical fleets.
+    """
+
+    nodes: int = 7
+    node: StackConfig = field(
+        default_factory=lambda: StackConfig(scheduler="split-token")
+    )
+    #: Per-node template overrides: ((node_index, StackConfig), ...).
+    node_overrides: Tuple[Tuple[int, StackConfig], ...] = ()
+    replication: int = 3
+    block_size: int = 64 * MB
+    chunk: int = 1 * MB
+    #: One-way inter-node message latency in seconds; also the upper
+    #: bound on the epoch width of the conservative sync protocol.
+    link_latency: float = 0.5e-3
+    tenants: Tuple[TenantContract, ...] = ()
+    #: Seed for block placement (NameNode-style replica choice).
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 1 <= self.replication <= self.nodes:
+            raise ValueError(
+                f"replication {self.replication} outside [1, {self.nodes}]"
+            )
+        if self.link_latency <= 0:
+            raise ValueError(f"link_latency must be positive, got {self.link_latency}")
+        if self.block_size < self.chunk:
+            raise ValueError("block_size must be >= chunk")
+        for index, _config in self.node_overrides:
+            if not 0 <= index < self.nodes:
+                raise ValueError(f"node_overrides index {index} outside the fleet")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+
+    def node_config(self, index: int) -> StackConfig:
+        """The effective StackConfig of node *index* (template + override)."""
+        for override_index, config in self.node_overrides:
+            if override_index == index:
+                return config
+        return self.node
+
+    def contract(self, name: str) -> Optional[TenantContract]:
+        """The tenant contract named *name*, or None if unknown."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly payload; :meth:`from_dict` round-trips it."""
+        return {
+            "nodes": self.nodes,
+            "node": self.node.to_dict(),
+            "node_overrides": [
+                [index, config.to_dict()] for index, config in self.node_overrides
+            ],
+            "replication": self.replication,
+            "block_size": self.block_size,
+            "chunk": self.chunk,
+            "link_latency": self.link_latency,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClusterConfig":
+        payload = dict(payload)
+        payload["node"] = StackConfig.from_dict(payload["node"])
+        payload["node_overrides"] = tuple(
+            (index, StackConfig.from_dict(config))
+            for index, config in payload.get("node_overrides") or ()
+        )
+        payload["tenants"] = tuple(
+            TenantContract.from_dict(t) for t in payload.get("tenants") or ()
+        )
+        return cls(**payload)
+
+    def replace(self, **changes) -> "ClusterConfig":
+        """A copy with *changes* applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)

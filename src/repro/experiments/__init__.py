@@ -34,5 +34,6 @@ EXPERIMENTS = {
     "fig21": ("repro.experiments.fig21_hdfs", "Figure 21: HDFS isolation"),
     "fig22": ("repro.experiments.fig22_queue_depth", "Figure 22: multi-queue dispatch vs depth"),
     "fig23": ("repro.experiments.fig23_fail_slow", "Figure 23: hedged dispatch under fail-slow"),
+    "fig24": ("repro.experiments.fig24_fleet", "Figure 24: fleet-scale isolation (sharded)"),
     "tab1": ("repro.experiments.tab1_properties", "Table 1: framework properties"),
 }

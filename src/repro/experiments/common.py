@@ -36,6 +36,14 @@ _default_hedge = False
 #: --fast-forward).  StackConfigs with fast_forward=None inherit it; an
 #: explicit config value always wins.
 _default_fast_forward = False
+#: Session-wide shard count for cluster experiments (the CLI's
+#: --shards).  Sharded runs asked for ``shards=None`` inherit it.
+_default_shards = 1
+#: Fault summaries forwarded from shard worker processes (already
+#: rendered to dicts — the queues live in other address spaces).
+_forwarded_fault_summaries: List[Dict] = []
+#: Span lists forwarded from shard worker processes, in node order.
+_forwarded_spans: List[Dict] = []
 
 
 def set_default_queue_depth(depth: int) -> None:
@@ -73,6 +81,19 @@ def default_fast_forward() -> bool:
     return _default_fast_forward
 
 
+def set_default_shards(shards: int) -> None:
+    """Install the session shard count for cluster runs that don't pin one."""
+    global _default_shards
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    _default_shards = shards
+
+
+def default_shards() -> int:
+    """The session shard count (1 unless --shards raised it)."""
+    return _default_shards
+
+
 def enable_tracing() -> None:
     """Attach a SpanBuilder to every stack built until disabled.
 
@@ -100,14 +121,39 @@ def drain_spans() -> List[Dict]:
     """Spans of every traced stack built so far, in creation order.
 
     Builders are detached and forgotten, so consecutive cells in one
-    process never report each other's spans.
+    process never report each other's spans.  Spans forwarded from
+    shard worker processes (see :func:`add_forwarded_spans`) follow the
+    locally-built stacks' spans, already merged in node order.
     """
     spans: List[Dict] = []
     for builder in _span_builders:
         spans.extend(builder.spans)
         builder.close()
     _span_builders.clear()
+    spans.extend(_forwarded_spans)
+    _forwarded_spans.clear()
     return spans
+
+
+def add_forwarded_spans(spans: List[Dict]) -> None:
+    """Register spans produced inside shard worker processes.
+
+    A sharded run's worker shards trace their node stacks locally and
+    ship the span dicts back at the end of the run; the coordinator
+    registers them here so :func:`drain_spans` reports them alongside
+    (after) any stacks built in this process — keeping the runner's
+    cell-order merge identical whether a cell sharded or not.
+    """
+    _forwarded_spans.extend(spans)
+
+
+def add_forwarded_fault_summaries(summaries: List[Dict]) -> None:
+    """Register fault summaries produced inside shard worker processes.
+
+    Like :func:`add_forwarded_spans`, but for the per-queue fault
+    summaries of faulty node stacks built in worker shards.
+    """
+    _forwarded_fault_summaries.extend(summaries)
 
 
 def set_default_fault_plan(plan, seed: int = 0) -> None:
@@ -125,6 +171,7 @@ def set_default_fault_plan(plan, seed: int = 0) -> None:
     global _default_fault_plan
     _default_fault_plan = (plan, seed) if plan is not None and not plan.empty else None
     _fault_queues.clear()
+    _forwarded_fault_summaries.clear()
 
 
 def clear_default_fault_plan() -> None:
@@ -132,14 +179,26 @@ def clear_default_fault_plan() -> None:
     global _default_fault_plan
     _default_fault_plan = None
     _fault_queues.clear()
+    _forwarded_fault_summaries.clear()
+
+
+def default_fault_plan():
+    """The session ``(plan, seed)`` pair, or None (for shard workers)."""
+    return _default_fault_plan
 
 
 def drain_fault_summaries() -> List[Dict]:
-    """Fault statistics of every faulty stack built so far (and reset)."""
+    """Fault statistics of every faulty stack built so far (and reset).
+
+    Summaries forwarded from shard worker processes follow the locally
+    tracked queues', already merged in node order.
+    """
     from repro.metrics.recorders import fault_summary
 
     summaries = [fault_summary(queue) for queue in _fault_queues]
     _fault_queues.clear()
+    summaries.extend(_forwarded_fault_summaries)
+    _forwarded_fault_summaries.clear()
     return summaries
 
 
@@ -206,9 +265,23 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
             "pass either a StackConfig or keyword overrides, not both "
             "(use config.replace(...) to derive a variant)"
         )
+    env = Environment()
+    machine = build_node(env, config)
+    return env, machine
+
+
+def build_node(env, config: StackConfig, node_index: Optional[int] = None):
+    """Assemble one machine from *config* inside an existing *env*.
+
+    The single-stack :func:`build_stack` is ``Environment()`` plus this;
+    the sharded simulation core calls it once per DataNode to house a
+    whole fleet partition in one shard Environment.  ``node_index``
+    namespaces the node's fault RNG stream (and offsets its fault seed)
+    so co-hosted nodes under one plan draw *distinct* fault sequences —
+    deterministically per node, independent of which shard hosts it.
+    """
     scheduler = config.make_scheduler()
     reset_id_counters()
-    env = Environment()
     dev = make_device(config.device)
     plan_seed = None
     explicit_plan = config.make_fault_plan()
@@ -222,8 +295,13 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
         from repro.sim.rand import RandomStreams
 
         plan, seed = plan_seed
+        if node_index is not None:
+            seed = seed + 7919 * node_index
+            stream_name = f"faults.node{node_index}.{dev.name}"
+        else:
+            stream_name = f"faults.{dev.name}"
         streams = RandomStreams(seed)
-        injector = FaultInjector(env, plan, streams, stream_name=f"faults.{dev.name}")
+        injector = FaultInjector(env, plan, streams, stream_name=stream_name)
         dev = FaultyDevice(dev, injector)
     queue_depth = (
         config.queue_depth if config.queue_depth is not None else _default_queue_depth
@@ -257,7 +335,7 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
         from repro.obs import SpanBuilder
 
         _span_builders.append(SpanBuilder.attach(machine))
-    return env, machine
+    return machine
 
 
 def settle(env, proc) -> None:

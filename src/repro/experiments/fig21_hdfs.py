@@ -6,16 +6,22 @@ rate caps give the unthrottled group more throughput; the throttled
 group's total falls short of the (cap/3)·7 upper bound because random
 block placement leaves tokens unused on cold workers — and a smaller
 HDFS block size closes most of that gap.
+
+This figure runs on the shard-aware simulation core
+(:mod:`repro.sim.shard`): the seven workers are a
+:class:`~repro.config.ClusterConfig` fleet, the writer groups are
+tenant contracts, and each writer is a :class:`StreamSpec` driven
+through a gateway node.  Under ``--shards 1`` the whole fleet shares
+one event loop (the classic semantics); any higher shard count
+partitions it across processes with bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.apps.hdfs import HDFSCluster
-from repro.metrics.recorders import ThroughputTracker
-from repro.schedulers import make_scheduler
-from repro.sim import Environment
+from repro.config import ClusterConfig, TenantContract
+from repro.sim.shard import StreamSpec, run_cluster
 from repro.units import GB, MB
 
 
@@ -26,39 +32,69 @@ def run_cell(
     workers: int = 7,
     writers_per_group: int = 4,
     seed: int = 0,
+    shards: Optional[int] = None,
 ) -> Dict:
-    env = Environment()
-    cluster = HDFSCluster(
-        env,
-        workers=workers,
+    """One (rate cap, block size) point of the figure."""
+    cluster = ClusterConfig(
+        nodes=workers,
         replication=3,
         block_size=block_size,
-        scheduler_factory=lambda: make_scheduler("split-token"),
+        tenants=(
+            TenantContract("throttled", rate_per_node=rate_cap),
+            TenantContract("free"),
+        ),
         seed=seed,
     )
-    cluster.set_account_limit("throttled", rate_cap)
-
-    throttled = ThroughputTracker("throttled")
-    unthrottled = ThroughputTracker("unthrottled")
     file_size = 16 * GB  # effectively unbounded; duration stops us
+    streams = []
     for i in range(writers_per_group):
-        env.process(
-            cluster.write_file("throttled", f"/t{i}", file_size, duration=duration, tracker=throttled)
-        )
-        env.process(
-            cluster.write_file("free", f"/u{i}", file_size, duration=duration, tracker=unthrottled)
-        )
-    env.run(until=duration)
+        streams.append(StreamSpec(2 * i, "throttled", i % workers, file_size))
+        streams.append(StreamSpec(2 * i + 1, "free", (i + writers_per_group) % workers, file_size))
+    result = run_cluster(cluster, streams, duration, shards=shards)
 
+    throttled = result["tenants"]["throttled"]["mbps"] * MB
+    unthrottled = result["tenants"]["free"]["mbps"] * MB
     upper_bound = (rate_cap / 3) * workers
     return {
         "rate_cap_mb": rate_cap / MB,
         "block_size_mb": block_size / MB,
-        "throttled_mbps": throttled.rate(until=env.now) / MB,
-        "unthrottled_mbps": unthrottled.rate(until=env.now) / MB,
+        "throttled_mbps": throttled / MB,
+        "unthrottled_mbps": unthrottled / MB,
         "upper_bound_mbps": upper_bound / MB,
-        "bound_utilization": (throttled.rate(until=env.now) / upper_bound) if upper_bound else 0.0,
+        "bound_utilization": (throttled / upper_bound) if upper_bound else 0.0,
     }
+
+
+def cells(
+    rate_caps: List[float] = (4 * MB, 8 * MB, 16 * MB, 32 * MB),
+    block_sizes: List[int] = (64 * MB, 16 * MB),
+    **kwargs,
+) -> List:
+    """One cell per (block size, rate cap) point, in run() order."""
+    out = []
+    for block_size in block_sizes:
+        for cap in rate_caps:
+            label = f"block{block_size // MB}mb/cap{cap / MB:g}"
+            cell_kwargs = dict(kwargs, rate_cap=cap, block_size=block_size)
+            out.append((label, "run_cell", cell_kwargs))
+    return out
+
+
+def merge(
+    pairs: List,
+    rate_caps: List[float] = (4 * MB, 8 * MB, 16 * MB, 32 * MB),
+    block_sizes: List[int] = (64 * MB, 16 * MB),
+    **_kwargs,
+) -> Dict:
+    """Reassemble cell results into run()'s output shape."""
+    results: Dict = {"rate_caps_mb": [cap / MB for cap in rate_caps]}
+    flat = [result for _label, result in pairs]
+    cursor = 0
+    for block_size in block_sizes:
+        key = f"block_{block_size // MB}mb"
+        results[key] = flat[cursor : cursor + len(rate_caps)]
+        cursor += len(rate_caps)
+    return results
 
 
 def run(
@@ -66,8 +102,9 @@ def run(
     block_sizes: List[int] = (64 * MB, 16 * MB),
     **kwargs,
 ) -> Dict:
-    results: Dict = {"rate_caps_mb": [cap / MB for cap in rate_caps]}
-    for block_size in block_sizes:
-        key = f"block_{block_size // MB}mb"
-        results[key] = [run_cell(cap, block_size=block_size, **kwargs) for cap in rate_caps]
-    return results
+    """The whole figure, sequentially (the runner fans out cells())."""
+    pairs = [
+        (label, run_cell(**cell_kwargs))
+        for label, _func, cell_kwargs in cells(rate_caps, block_sizes, **kwargs)
+    ]
+    return merge(pairs, rate_caps, block_sizes)

@@ -111,18 +111,21 @@ def _worker_init(
     queue_depth: int = 1,
     hedge: bool = False,
     fast_forward: bool = False,
+    shards: int = 1,
 ) -> None:
     """Process-pool initialiser: re-install the session fault plan,
-    trace flag, block-layer queue depth, hedge flag, and fast-forward
-    flag.
+    trace flag, block-layer queue depth, hedge flag, fast-forward
+    flag, and shard count.
 
     Workers are fresh interpreters (or forks taken before any plan was
     installed), so without this the ``--fault-*``, ``--trace``,
-    ``--queue-depth``, ``--hedge`` and ``--fast-forward`` flags would
-    silently stop applying under ``--jobs N``.  Cells whose kwargs
-    carry a serialized :class:`~repro.config.StackConfig` re-inflate it
-    themselves via ``StackConfig.from_dict`` — configs pin their own
-    depth, so only the session default travels here.
+    ``--queue-depth``, ``--hedge``, ``--fast-forward`` and ``--shards``
+    flags would silently stop applying under ``--jobs N``.  Cells whose
+    kwargs carry a serialized :class:`~repro.config.StackConfig`
+    re-inflate it themselves via ``StackConfig.from_dict`` — configs
+    pin their own depth, so only the session default travels here.
+    Sharded cells inside pool workers step their shards inline (a
+    daemonic worker may not spawn children) — same results either way.
     """
     if fault_spec is not None:
         plan, seed = fault_spec
@@ -132,6 +135,7 @@ def _worker_init(
     common.set_default_queue_depth(queue_depth)
     common.set_default_hedge(hedge)
     common.set_default_fast_forward(fast_forward)
+    common.set_default_shards(shards)
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
@@ -152,6 +156,7 @@ def execute_cells(
     queue_depth: int = 1,
     hedge: bool = False,
     fast_forward: bool = False,
+    shards: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
     """Execute *cells*, returning ``(result, faults, spans, seconds)``
@@ -159,11 +164,13 @@ def execute_cells(
 
     Results are returned in declaration order regardless of completion
     order.  ``jobs <= 1`` runs inline (no pool, no pickling); a cell
-    failure propagates either way.
+    failure propagates either way.  ``shards`` is the session default
+    partition count for cells that are themselves sharded cluster runs
+    (see :mod:`repro.sim.shard`); single-stack cells ignore it.
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec, trace, queue_depth, hedge, fast_forward)
+        _worker_init(fault_spec, trace, queue_depth, hedge, fast_forward, shards)
         try:
             out = []
             for cell in cells:
@@ -179,10 +186,11 @@ def execute_cells(
             common.set_default_queue_depth(1)
             common.set_default_hedge(False)
             common.set_default_fast_forward(False)
+            common.set_default_shards(1)
 
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init,
-        initargs=(fault_spec, trace, queue_depth, hedge, fast_forward),
+        initargs=(fault_spec, trace, queue_depth, hedge, fast_forward, shards),
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -205,6 +213,7 @@ def run_experiments(
     queue_depth: int = 1,
     hedge: bool = False,
     fast_forward: bool = False,
+    shards: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -230,7 +239,7 @@ def run_experiments(
     outcomes = execute_cells(
         all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
         trace=trace, queue_depth=queue_depth, hedge=hedge,
-        fast_forward=fast_forward, progress=progress,
+        fast_forward=fast_forward, shards=shards, progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -258,11 +267,13 @@ def run_experiment(
     queue_depth: int = 1,
     hedge: bool = False,
     fast_forward: bool = False,
+    shards: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
     return run_experiments(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
         fault_seed=fault_seed, trace=trace, queue_depth=queue_depth,
-        hedge=hedge, fast_forward=fast_forward, progress=progress,
+        hedge=hedge, fast_forward=fast_forward, shards=shards,
+        progress=progress,
     )[key]

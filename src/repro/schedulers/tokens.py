@@ -31,6 +31,11 @@ class TokenBucket:
         self._balance = self.cap
         self._last_update = env.now
         self.charged_total = 0.0
+        #: Cumulative refunds (freed-before-writeback pages, block-level
+        #: revisions downward).  ``charged_total - refunded_total`` is
+        #: the account's net normalized-byte consumption — the quantity
+        #: the sharded runs aggregate into a cluster-wide token ledger.
+        self.refunded_total = 0.0
 
     @property
     def balance(self) -> float:
@@ -53,6 +58,8 @@ class TokenBucket:
     def refund(self, amount: float) -> None:
         self._accrue()
         self._balance = min(self.cap, self._balance + amount)
+        if amount > 0:
+            self.refunded_total += amount
 
     def time_until(self, level: float) -> float:
         """Seconds until the balance reaches *level* (0 if already).

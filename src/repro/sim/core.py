@@ -245,7 +245,9 @@ class Environment:
           entries run in (priority, eid) order;
         - entries scheduled *during* the cohort that sort before a
           not-yet-dispatched cohort entry (an URGENT interrupt at the
-          current instant) are pulled from the heap and run first;
+          current instant) are pulled from the heap — or from the
+          front slot, where schedule() parks an entry that beats the
+          heap head — and run first;
         - on any exception — StopSimulation from an until-event, an
           untended failure, a crashing callback — the undispatched
           remainder is pushed back onto the heap before re-raising, so
@@ -271,8 +273,21 @@ class Environment:
             while i < n:
                 if self._halted:
                     break
+                # Same-instant interlopers: an event scheduled during
+                # the cohort that sorts before the next buffered entry
+                # may sit at the heap head or in the front slot
+                # (schedule() prefers the slot when the entry beats the
+                # heap head), so both must be checked.
+                nxt = self._next
+                if nxt is not None and nxt[0] == tnow and nxt < cohort[i]:
+                    if queue and queue[0] < nxt:
+                        dispatch(heappop(queue)[3])
+                    else:
+                        self._next = None
+                        dispatch(nxt[3])
+                    continue
                 if queue and queue[0][0] == tnow and queue[0] < cohort[i]:
-                    dispatch(heappop(queue)[3])  # same-instant interloper
+                    dispatch(heappop(queue)[3])
                     continue
                 event = cohort[i][3]
                 i += 1

@@ -1,0 +1,1 @@
+"""Tests for the shard-aware simulation core (repro.sim.shard)."""

@@ -1,0 +1,111 @@
+"""Property: per-epoch delivery order is independent of push order.
+
+The InterShardChannel's contract is that the batch a destination shard
+receives for an epoch depends only on the *set* of messages, never on
+which shards produced them first or how the coordinator interleaved
+its drains.  These tests push the same message population in many
+shuffled chunkings and demand identical delivery sequences.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.shard import InterShardChannel, ShardMessage
+from repro.sim.shard.message import canonical_order
+
+EPOCH = 0.001
+
+
+def _population(rng, count=200, epochs=5):
+    """A message set with deliberate arrival-time collisions."""
+    messages = []
+    for i in range(count):
+        epoch_index = rng.randrange(1, epochs + 1)
+        # Quantized arrivals force many exact ties, exercising the
+        # src/seq tie-breakers rather than float luck.
+        arrival = epoch_index * EPOCH + rng.randrange(4) * (EPOCH / 4)
+        messages.append(
+            ShardMessage(
+                arrival=arrival,
+                src_node=rng.randrange(6),
+                seq=i,
+                dst_node=rng.randrange(6),
+                kind="write_chunk",
+                payload={"i": i},
+            )
+        )
+    return messages
+
+
+def _deliver_all(channel, epochs):
+    """Drain every epoch window; return the flat per-epoch sequences."""
+    out = []
+    for k in range(epochs + 2):
+        by_node = channel.due(k * EPOCH, (k + 1) * EPOCH)
+        flat = [
+            message
+            for node in sorted(by_node)
+            for message in by_node[node]
+        ]
+        out.append(flat)
+    return out
+
+
+@pytest.mark.parametrize("trial", range(5))
+def test_delivery_order_independent_of_push_order(trial):
+    rng = random.Random(100 + trial)
+    population = _population(rng)
+
+    reference = None
+    for shuffle_seed in range(6):
+        shuffled = population[:]
+        random.Random(shuffle_seed).shuffle(shuffled)
+        channel = InterShardChannel(EPOCH)
+        # Push in ragged chunks, mimicking shards finishing an epoch in
+        # arbitrary order with arbitrary outbox sizes.
+        cursor = 0
+        chunk_rng = random.Random(1000 + shuffle_seed)
+        while cursor < len(shuffled):
+            step = chunk_rng.randrange(1, 17)
+            channel.push(shuffled[cursor : cursor + step])
+            cursor += step
+        delivered = _deliver_all(channel, epochs=5)
+        if reference is None:
+            reference = delivered
+        else:
+            assert delivered == reference
+    assert sum(len(batch) for batch in reference) == len(population)
+
+
+def test_within_epoch_batches_are_canonically_sorted():
+    rng = random.Random(7)
+    channel = InterShardChannel(EPOCH)
+    channel.push(_population(rng))
+    for batch in _deliver_all(channel, epochs=5):
+        keys = [canonical_order(message) for message in batch]
+        # Per destination node the canonical key must be monotonic.
+        per_node = {}
+        for message, key in zip(batch, keys):
+            per_node.setdefault(message.dst_node, []).append(key)
+        for node_keys in per_node.values():
+            assert node_keys == sorted(node_keys)
+
+
+def test_push_rejects_messages_for_released_epochs():
+    channel = InterShardChannel(EPOCH)
+    channel.due(0.0, EPOCH)  # epoch 0 released
+    late = ShardMessage(EPOCH / 2, 0, 0, 1, "ack", {})
+    with pytest.raises(RuntimeError):
+        channel.push([late])
+
+
+def test_pending_messages_survive_until_their_epoch():
+    channel = InterShardChannel(EPOCH)
+    message = ShardMessage(3.5 * EPOCH, 0, 0, 1, "ack", {})
+    channel.push([message])
+    assert channel.due(0.0, EPOCH) == {}
+    assert channel.due(EPOCH, 2 * EPOCH) == {}
+    assert channel.pending_count() == 1
+    assert channel.due(3 * EPOCH, 4 * EPOCH) == {1: [message]}
+    assert channel.pending_count() == 0

@@ -1,0 +1,136 @@
+"""ClusterConfig, placement, and cluster-run behavior basics."""
+
+import pytest
+
+from repro.config import ClusterConfig, StackConfig, TenantContract
+from repro.sim.shard import StreamSpec, place_block, run_cluster
+from repro.units import MB
+
+
+class TestClusterConfig:
+    """Validation and serialization of the fleet description."""
+
+    def test_round_trips_through_dict(self):
+        cluster = ClusterConfig(
+            nodes=5,
+            node=StackConfig(scheduler="split-token", device="ssd"),
+            node_overrides=((2, StackConfig(device="hdd")),),
+            replication=2,
+            block_size=8 * MB,
+            chunk=1 * MB,
+            link_latency=0.25e-3,
+            tenants=(TenantContract("a", rate_per_node=4 * MB), TenantContract("b")),
+            seed=9,
+        )
+        rebuilt = ClusterConfig.from_dict(cluster.to_dict())
+        assert rebuilt == cluster
+        assert rebuilt.node_config(2).device == "hdd"
+        assert rebuilt.node_config(0).device == "ssd"
+        assert rebuilt.contract("a").rate_per_node == 4 * MB
+        assert rebuilt.contract("missing") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=2, replication=3)
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=2, link_latency=0.0)
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes=2, replication=1, node_overrides=((5, StackConfig()),))
+        with pytest.raises(ValueError):
+            ClusterConfig(
+                nodes=2, replication=1,
+                tenants=(TenantContract("a"), TenantContract("a")),
+            )
+
+    def test_replace(self):
+        cluster = ClusterConfig(nodes=4, replication=2)
+        bigger = cluster.replace(nodes=8)
+        assert bigger.nodes == 8 and bigger.replication == 2
+        assert cluster.nodes == 4  # frozen original untouched
+
+
+class TestPlacement:
+    """The pure placement function."""
+
+    def test_is_deterministic_and_valid(self):
+        a = place_block(3, 7, 11, nodes=10, replication=3)
+        b = place_block(3, 7, 11, nodes=10, replication=3)
+        assert a == b
+        assert len(set(a)) == 3
+        assert all(0 <= n < 10 for n in a)
+
+    def test_spreads_over_blocks(self):
+        placements = {
+            tuple(place_block(0, 0, block, nodes=8, replication=3))
+            for block in range(32)
+        }
+        assert len(placements) > 8  # random placement, not round-robin
+
+
+class TestClusterRun:
+    """End-to-end behavior of small sharded runs."""
+
+    def test_throttled_tenant_respects_cluster_bound(self):
+        cap = 4 * MB
+        cluster = ClusterConfig(
+            nodes=4,
+            replication=2,
+            block_size=4 * MB,
+            tenants=(TenantContract("limited", rate_per_node=cap),),
+            seed=1,
+        )
+        streams = [StreamSpec(i, "limited", i, 64 * MB) for i in range(4)]
+        result = run_cluster(cluster, streams, duration=1.0, shards=2, processes=False)
+        bound_mbps = (cap / 2) * 4 / MB
+        mbps = result["tenants"]["limited"]["mbps"]
+        assert 0 < mbps
+        # Allow the initial token burst (one bucket cap per node).
+        burst_mbps = (cap * 4 / MB) / 1.0
+        assert mbps <= bound_mbps * 1.1 + burst_mbps
+
+    def test_replication_multiplies_disk_bytes(self):
+        cluster = ClusterConfig(
+            nodes=4,
+            replication=3,
+            block_size=4 * MB,
+            tenants=(TenantContract("free"),),
+            seed=2,
+        )
+        streams = [StreamSpec(0, "free", 0, 64 * MB)]
+        result = run_cluster(
+            cluster, streams, duration=0.1, shards=1, drain=True,
+        )
+        acked = result["tenants"]["free"]["bytes"]
+        disk = sum(node["bytes_written"] for node in result["per_node"].values())
+        assert acked > 0
+        # Every acked byte landed on all three replicas; bytes still in
+        # flight at the stop may add one extra chunk per replica.
+        assert disk >= 3 * acked
+
+    def test_token_ledger_aggregates_across_nodes(self):
+        cluster = ClusterConfig(
+            nodes=3,
+            replication=2,
+            block_size=2 * MB,
+            tenants=(TenantContract("limited", rate_per_node=8 * MB),),
+            seed=4,
+        )
+        streams = [StreamSpec(0, "limited", 0, 32 * MB)]
+        result = run_cluster(cluster, streams, duration=0.1, shards=3, processes=False)
+        tokens = result["tenants"]["limited"]["tokens"]
+        assert tokens["charged"] > 0
+        assert tokens["net"] == pytest.approx(tokens["charged"] - tokens["refunded"])
+
+    def test_meta_reports_fleet_shape(self):
+        cluster = ClusterConfig(
+            nodes=4, replication=2, tenants=(TenantContract("free"),), seed=0,
+        )
+        streams = [StreamSpec(0, "free", 0, 4 * MB)]
+        result = run_cluster(cluster, streams, duration=0.02, shards=2, processes=False)
+        meta = result["meta"]
+        assert meta["nodes"] == 4
+        assert meta["shards"] == 2
+        assert meta["epochs"] > 0
+        assert meta["processes"] is False

@@ -61,6 +61,56 @@ def test_urgent_interloper_preempts_cohort_remainder():
     assert fired == ["a", "urgent", "b"]
 
 
+def test_front_slot_urgent_interloper_preempts_cohort_remainder():
+    """A process spawned mid-cohort starts before the cohort remainder.
+
+    Initialize schedules URGENT through the *front slot* (not the
+    heap) when the slot is free — which it always is mid-cohort.  The
+    interloper check must look there too: missing it delays the
+    process start behind every remaining same-instant event, and
+    whether the slot is free depends on unrelated traffic elsewhere in
+    the Environment (the shard-layout divergence this pins down).
+    """
+    env = Environment()
+    fired = []
+
+    def body():
+        fired.append("started")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def spawn(ev):
+        fired.append(ev.value)
+        env.process(body())
+
+    env.timeout(1, value="a").callbacks.append(spawn)
+    env.timeout(1, value="b").callbacks.append(lambda ev: fired.append(ev.value))
+    env.run()
+    assert fired == ["a", "started", "b"]
+
+
+def test_heap_and_front_slot_interlopers_run_in_eid_order():
+    env = Environment()
+    fired = []
+
+    def body():
+        fired.append("slot")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def spawn(ev):
+        fired.append(ev.value)
+        heap_urgent = env.event()
+        heap_urgent.callbacks.append(lambda e: fired.append("heap"))
+        env.schedule(heap_urgent, priority=URGENT)  # heap path, older eid
+        env.process(body())  # front-slot path, younger eid
+
+    env.timeout(1, value="a").callbacks.append(spawn)
+    env.timeout(1, value="b").callbacks.append(lambda ev: fired.append(ev.value))
+    env.run()
+    assert fired == ["a", "heap", "slot", "b"]
+
+
 def test_until_event_mid_cohort_stops_and_resumes_cleanly():
     env = Environment()
     fired = []

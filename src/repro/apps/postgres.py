@@ -128,7 +128,6 @@ class Postgres:
                 yield env.timeout(think)
 
     def _transaction(self, task):
-        env = self.os.env
         pages = self.table_bytes // PAGE_SIZE
         for _ in range(self.reads_per_txn):
             page = self.rng.randrange(0, pages)

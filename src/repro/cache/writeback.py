@@ -30,6 +30,14 @@ if TYPE_CHECKING:  # pragma: no cover
 class WritebackConfig:
     """Tunables mirroring /proc/sys/vm/dirty_*."""
 
+    __slots__ = (
+        "dirty_background_ratio",
+        "dirty_ratio",
+        "dirty_expire",
+        "wakeup_interval",
+        "batch_pages",
+    )
+
     def __init__(
         self,
         dirty_background_ratio: float = 0.10,

@@ -96,6 +96,7 @@ def cmd_run(args) -> int:
         hedge=args.hedge,
         fast_forward=args.fast_forward,
         shards=args.shards,
+        sanitize=args.sanitize,
     )
     result = outcome.result
     if plan is not None:
@@ -136,7 +137,7 @@ def cmd_run_all(args) -> int:
     jobs = _resolve_jobs(args.jobs)
     plan = _build_fault_plan(args)
     print(f"# running {len(keys)} experiments with --jobs {jobs}", file=sys.stderr)
-    started = time.perf_counter()
+    started = time.perf_counter()  # simlint: disable=SIM001 (host wall time, not sim time)
     outcomes = runner.run_experiments(
         [(key, None) for key in keys],
         jobs=jobs,
@@ -147,9 +148,10 @@ def cmd_run_all(args) -> int:
         hedge=args.hedge,
         fast_forward=args.fast_forward,
         shards=args.shards,
+        sanitize=args.sanitize,
         progress=lambda line: print(line, file=sys.stderr),
     )
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # simlint: disable=SIM001 (host wall time)
 
     if args.trace is not None:
         for key in keys:
@@ -213,6 +215,17 @@ def _add_shards_arg(parser) -> None:
              "Environments advancing in lockstep epochs, one worker "
              "process per shard; results are byte-identical for any N "
              "(single-stack experiments ignore this)",
+    )
+
+
+def _add_sanitize_arg(parser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable runtime invariant checks (monotonic clock, exact "
+             "cohort dispatch order, conservative-sync causality, token "
+             "conservation, slot bounds); violations raise "
+             "SanitizerError with recent event history — slower, but "
+             "results are unchanged when no invariant is broken",
     )
 
 
@@ -286,6 +299,7 @@ def main(argv=None) -> int:
     _add_hedge_arg(run_parser)
     _add_fast_forward_arg(run_parser)
     _add_shards_arg(run_parser)
+    _add_sanitize_arg(run_parser)
     _add_fault_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
@@ -315,6 +329,7 @@ def main(argv=None) -> int:
     _add_hedge_arg(all_parser)
     _add_fast_forward_arg(all_parser)
     _add_shards_arg(all_parser)
+    _add_sanitize_arg(all_parser)
     _add_fault_args(all_parser)
     all_parser.set_defaults(func=cmd_run_all)
 
@@ -372,6 +387,25 @@ def main(argv=None) -> int:
         help="additionally break each stage down per cause task",
     )
     report_parser.set_defaults(func=cmd_trace_report)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run simlint (determinism/isolation static analysis, rules "
+             "SIM001-SIM008) over Python files; exit 1 on any violation",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text: location, rule, why, fix-it)",
+    )
+    lint_parser.add_argument(
+        "--select", action="append", metavar="SIMnnn",
+        help="restrict to these rule ids (repeatable)",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     export_parser = sub.add_parser("export", help="run experiments, write JSON + report")
     export_parser.add_argument("out_dir", help="directory for <id>.json files and REPORT.md")
@@ -449,6 +483,29 @@ def cmd_trace_report(args) -> int:
         except BrokenPipeError:  # e.g. `trace-report out/ | head`
             return 0
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run simlint over the given paths; exit 1 on any violation."""
+    from repro.analysis.simlint import RULES, format_json, format_text, lint_paths
+
+    select = None
+    if args.select:
+        select = {rule.upper() for rule in args.select}
+        unknown = select - set(RULES)
+        if unknown:
+            print(
+                f"unknown rules: {', '.join(sorted(unknown))}; valid: "
+                f"{', '.join(sorted(r for r in RULES if r != 'SIM000'))}",
+                file=sys.stderr,
+            )
+            return 2
+    violations = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(format_json(violations))
+    else:
+        print(format_text(violations))
+    return 1 if violations else 0
 
 
 def cmd_export(args) -> int:

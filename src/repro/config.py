@@ -178,6 +178,11 @@ class StackConfig:
     #: (off unless the CLI's ``--fast-forward`` set it); an explicit
     #: bool pins it.
     fast_forward: Optional[bool] = None
+    #: Runtime sanitizer (repro.analysis.sanitizer): invariant checks
+    #: in the sim kernel, block layer, and shard channels.  None defers
+    #: to the session default (off unless ``--sanitize`` or the
+    #: REPRO_SANITIZE env var set it); an explicit bool pins it.
+    sanitize: Optional[bool] = None
 
     def __post_init__(self):
         if self.queue_depth is not None and self.queue_depth < 1:
@@ -247,6 +252,7 @@ class StackConfig:
             "hedge": self.hedge,
             "health": _health_to_dict(self.health),
             "fast_forward": self.fast_forward,
+            "sanitize": self.sanitize,
         }
 
     @classmethod

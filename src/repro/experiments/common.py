@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, Iterable, List, Optional
 
 from repro.config import StackConfig
 from repro.devices import HDD, SSD
 from repro.sim import Environment
 from repro.syscall.os import OS
-from repro.units import GB
 
 #: Session-wide fault configuration: (FaultPlan, seed) or None.  Set by
 #: the CLI's --fault-* flags; when None, build_stack produces exactly
@@ -39,6 +39,12 @@ _default_fast_forward = False
 #: Session-wide shard count for cluster experiments (the CLI's
 #: --shards).  Sharded runs asked for ``shards=None`` inherit it.
 _default_shards = 1
+#: Session-wide runtime-sanitizer flag (the CLI's --sanitize).
+#: StackConfigs with sanitize=None inherit it; an explicit config
+#: value always wins.  The REPRO_SANITIZE environment variable seeds
+#: it so a whole pytest run can be sanitized without touching argv
+#: (the CI sanitized-tier1 job).
+_default_sanitize = bool(os.environ.get("REPRO_SANITIZE"))
 #: Fault summaries forwarded from shard worker processes (already
 #: rendered to dicts — the queues live in other address spaces).
 _forwarded_fault_summaries: List[Dict] = []
@@ -92,6 +98,33 @@ def set_default_shards(shards: int) -> None:
 def default_shards() -> int:
     """The session shard count (1 unless --shards raised it)."""
     return _default_shards
+
+
+def set_default_sanitize(sanitize: bool) -> None:
+    """Install the session runtime-sanitizer flag for unpinned stacks."""
+    global _default_sanitize
+    _default_sanitize = bool(sanitize)
+
+
+def default_sanitize() -> bool:
+    """The session sanitize flag (off unless --sanitize/REPRO_SANITIZE)."""
+    return _default_sanitize
+
+
+def make_environment(sanitize: Optional[bool] = None):
+    """A fresh Environment — sanitized when the flag (or session) asks.
+
+    The production :class:`~repro.sim.core.Environment` carries no
+    sanitizer attribute or branch; enabling the checks swaps in the
+    :class:`~repro.analysis.sanitizer.SanitizedEnvironment` subclass
+    instead, so the off state is provably zero-cost.
+    """
+    effective = _default_sanitize if sanitize is None else sanitize
+    if effective:
+        from repro.analysis.sanitizer import SanitizedEnvironment
+
+        return SanitizedEnvironment()
+    return Environment()
 
 
 def enable_tracing() -> None:
@@ -265,7 +298,7 @@ def build_stack(config: Optional[StackConfig] = None, **kwargs):
             "pass either a StackConfig or keyword overrides, not both "
             "(use config.replace(...) to derive a variant)"
         )
-    env = Environment()
+    env = make_environment(config.sanitize)
     machine = build_node(env, config)
     return env, machine
 
@@ -335,6 +368,11 @@ def build_node(env, config: StackConfig, node_index: Optional[int] = None):
         from repro.obs import SpanBuilder
 
         _span_builders.append(SpanBuilder.attach(machine))
+    sanitize = config.sanitize if config.sanitize is not None else _default_sanitize
+    if sanitize:
+        from repro.analysis.sanitizer import attach_sanitizer
+
+        attach_sanitizer(machine)
     return machine
 
 

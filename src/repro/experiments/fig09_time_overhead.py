@@ -52,7 +52,6 @@ def run(thread_counts: List[int] = (1, 10, 100), duration: float = 10.0) -> Dict
                         machine, task, "/pool", duration, tracker, random.Random(i)
                     )
                 )
-            start = env.now
             run_for(env, duration)
             results[key].append(tracker.rate(until=env.now) / MB)
     overheads = [

@@ -93,7 +93,6 @@ def run_pair(
 
     a_tracker = ThroughputTracker("A")
     b_tracker = ThroughputTracker("B")
-    start = env.now
     env.process(sequential_reader(machine, a, "/a", duration, chunk=1 * MB, tracker=a_tracker, cold=True))
     for task in b_tasks:
         env.process(_b_workload(machine, task, b_workload, duration, b_tracker, b_file))
@@ -193,7 +192,6 @@ def _run_pattern_cell(
     a, b = machine.spawn("A"), machine.spawn("B")
     scheduler.set_limit(b, rate_limit)
     a_tracker, b_tracker = ThroughputTracker(), ThroughputTracker()
-    start = env.now
     env.process(sequential_reader(machine, a, "/a", duration, chunk=1 * MB, tracker=a_tracker, cold=True))
     if mode == "read":
         env.process(run_pattern_reader(machine, b, "/bdata", run_bytes, duration, tracker=b_tracker))

@@ -112,6 +112,7 @@ def _worker_init(
     hedge: bool = False,
     fast_forward: bool = False,
     shards: int = 1,
+    sanitize: bool = False,
 ) -> None:
     """Process-pool initialiser: re-install the session fault plan,
     trace flag, block-layer queue depth, hedge flag, fast-forward
@@ -119,8 +120,11 @@ def _worker_init(
 
     Workers are fresh interpreters (or forks taken before any plan was
     installed), so without this the ``--fault-*``, ``--trace``,
-    ``--queue-depth``, ``--hedge``, ``--fast-forward`` and ``--shards``
-    flags would silently stop applying under ``--jobs N``.  Cells whose
+    ``--queue-depth``, ``--hedge``, ``--fast-forward``, ``--shards``
+    and ``--sanitize`` flags would silently stop applying under
+    ``--jobs N``.  ``sanitize`` is only ever *raised* here (and only
+    lowered by the caller that raised it): a REPRO_SANITIZE-seeded
+    session default must survive cells that don't pass the flag.  Cells whose
     kwargs carry a serialized :class:`~repro.config.StackConfig`
     re-inflate it themselves via ``StackConfig.from_dict`` — configs
     pin their own depth, so only the session default travels here.
@@ -136,15 +140,17 @@ def _worker_init(
     common.set_default_hedge(hedge)
     common.set_default_fast_forward(fast_forward)
     common.set_default_shards(shards)
+    if sanitize:
+        common.set_default_sanitize(True)
 
 
 def _execute_cell(default_module: str, func: str, kwargs: Dict[str, Any]):
     """Run one cell; drain the fault summaries and spans its stacks produced."""
-    started = time.perf_counter()
+    started = time.perf_counter()  # simlint: disable=SIM001 (host wall time, not sim time)
     result = call_cell(default_module, func, kwargs)
     faults = common.drain_fault_summaries()
     spans = common.drain_spans()
-    return result, faults, spans, time.perf_counter() - started
+    return result, faults, spans, time.perf_counter() - started  # simlint: disable=SIM001 (host wall time)
 
 
 def execute_cells(
@@ -157,6 +163,7 @@ def execute_cells(
     hedge: bool = False,
     fast_forward: bool = False,
     shards: int = 1,
+    sanitize: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[Tuple[Any, List[Dict], List[Dict], float]]:
     """Execute *cells*, returning ``(result, faults, spans, seconds)``
@@ -170,7 +177,9 @@ def execute_cells(
     """
     fault_spec = None if fault_plan is None else (fault_plan, fault_seed)
     if jobs <= 1 or len(cells) <= 1:
-        _worker_init(fault_spec, trace, queue_depth, hedge, fast_forward, shards)
+        _worker_init(
+            fault_spec, trace, queue_depth, hedge, fast_forward, shards, sanitize
+        )
         try:
             out = []
             for cell in cells:
@@ -187,10 +196,14 @@ def execute_cells(
             common.set_default_hedge(False)
             common.set_default_fast_forward(False)
             common.set_default_shards(1)
+            if sanitize:
+                common.set_default_sanitize(False)
 
     with ProcessPoolExecutor(
         max_workers=jobs, initializer=_worker_init,
-        initargs=(fault_spec, trace, queue_depth, hedge, fast_forward, shards),
+        initargs=(
+            fault_spec, trace, queue_depth, hedge, fast_forward, shards, sanitize,
+        ),
     ) as pool:
         futures = [
             pool.submit(_execute_cell, cell.module, cell.func, cell.kwargs)
@@ -214,6 +227,7 @@ def run_experiments(
     hedge: bool = False,
     fast_forward: bool = False,
     shards: int = 1,
+    sanitize: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run many experiments' cells through one shared worker pool.
@@ -239,7 +253,8 @@ def run_experiments(
     outcomes = execute_cells(
         all_cells, jobs=jobs, fault_plan=fault_plan, fault_seed=fault_seed,
         trace=trace, queue_depth=queue_depth, hedge=hedge,
-        fast_forward=fast_forward, shards=shards, progress=progress,
+        fast_forward=fast_forward, shards=shards, sanitize=sanitize,
+        progress=progress,
     )
 
     merged: Dict[str, ExperimentResult] = {}
@@ -268,6 +283,7 @@ def run_experiment(
     hedge: bool = False,
     fast_forward: bool = False,
     shards: int = 1,
+    sanitize: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentResult:
     """Run one experiment, fanning its cells across *jobs* workers."""
@@ -275,5 +291,5 @@ def run_experiment(
         [(key, overrides)], jobs=jobs, fault_plan=fault_plan,
         fault_seed=fault_seed, trace=trace, queue_depth=queue_depth,
         hedge=hedge, fast_forward=fast_forward, shards=shards,
-        progress=progress,
+        sanitize=sanitize, progress=progress,
     )[key]

@@ -88,6 +88,20 @@ class FaultPlan:
     injects nothing; installing it is behaviour-neutral.
     """
 
+    __slots__ = (
+        "read_error_prob",
+        "write_error_prob",
+        "error_latency",
+        "error_windows",
+        "slow_factor",
+        "slow_windows",
+        "stall_prob",
+        "stall_duration",
+        "power_loss_at",
+        "channel_faults",
+        "hiccups",
+    )
+
     def __init__(
         self,
         read_error_prob: float = 0.0,

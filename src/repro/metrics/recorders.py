@@ -93,6 +93,8 @@ def fault_summary(queue) -> Dict[str, object]:
 class LatencyRecorder:
     """Collects (time, latency) samples for one operation stream."""
 
+    __slots__ = ("name", "samples")
+
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: List[Tuple[float, float]] = []
@@ -128,6 +130,8 @@ class LatencyRecorder:
 
 class ThroughputTracker:
     """Counts bytes over a window to report MB/s style figures."""
+
+    __slots__ = ("name", "bytes_total", "started_at", "ended_at")
 
     def __init__(self, name: str = ""):
         self.name = name

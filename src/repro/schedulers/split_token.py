@@ -168,7 +168,9 @@ class SplitToken(SplitScheduler):
             return
         share = request.nbytes / len(request.causes)
         charged: Dict[TokenBucket, float] = {}
-        for bucket in set(buckets.values()):
+        # dict.fromkeys, not set(): insertion-ordered dedupe keeps the
+        # charge sequence independent of PYTHONHASHSEED (SIM002).
+        for bucket in dict.fromkeys(buckets.values()):
             pids_in_bucket = sum(1 for b in buckets.values() if b is bucket)
             amount = share * pids_in_bucket
             bucket.charge(amount)
@@ -233,7 +235,8 @@ class SplitToken(SplitScheduler):
         buckets = self.buckets.buckets_for_causes(request.causes)
         if buckets and request.causes and self.block_revision:
             share = actual / len(request.causes)
-            for bucket in set(buckets.values()):
+            # insertion-ordered dedupe — see _charge_read (SIM002)
+            for bucket in dict.fromkeys(buckets.values()):
                 pids_in_bucket = sum(1 for b in buckets.values() if b is bucket)
                 target = share * pids_in_bucket
                 delta = target - preliminary.get(bucket, 0.0)

@@ -166,16 +166,20 @@ class Environment:
             except IndexError:
                 raise EmptySchedule() from None
         self._now = entry[0]
-        self._dispatch(entry[3])
+        self._dispatch(entry)
 
-    def _dispatch(self, event: Event) -> None:
-        """Run one popped event's callbacks (cohort and step path).
+    def _dispatch(self, entry: Tuple[float, int, int, Event]) -> None:
+        """Run one popped entry's callbacks (cohort and step path).
 
-        Mirrors the fast path inlined in :meth:`run` — keep the two in
-        sync.  Events whose callbacks are gone (``cancel()``) are swept
-        without processing; a single waiting :class:`Process` is
-        resumed without the generic callback indirection.
+        Receives the full ``(time, priority, eid, event)`` queue entry —
+        not just the event — so subclasses (the runtime sanitizer) can
+        observe the scheduling key of everything dispatched.  Mirrors
+        the fast path inlined in :meth:`run` — keep the two in sync.
+        Events whose callbacks are gone (``cancel()``) are swept without
+        processing; a single waiting :class:`Process` is resumed without
+        the generic callback indirection.
         """
+        event = entry[3]
         callbacks = event.callbacks
         if callbacks is None:
             return  # lazily-swept cancelled event
@@ -281,17 +285,17 @@ class Environment:
                 nxt = self._next
                 if nxt is not None and nxt[0] == tnow and nxt < cohort[i]:
                     if queue and queue[0] < nxt:
-                        dispatch(heappop(queue)[3])
+                        dispatch(heappop(queue))
                     else:
                         self._next = None
-                        dispatch(nxt[3])
+                        dispatch(nxt)
                     continue
                 if queue and queue[0][0] == tnow and queue[0] < cohort[i]:
-                    dispatch(heappop(queue)[3])
+                    dispatch(heappop(queue))
                     continue
-                event = cohort[i][3]
+                entry = cohort[i]
                 i += 1
-                dispatch(event)
+                dispatch(entry)
         except BaseException:
             while i < n:
                 heappush(queue, cohort[i])
@@ -305,6 +309,32 @@ class Environment:
         cohort.clear()
         self._cohort = cohort
 
+    #: Sentinel from :meth:`_resolve_until`: the run target is already
+    #: satisfied and run() should return immediately.
+    _ALREADY_DONE = object()
+
+    def _resolve_until(self, until: Any) -> Any:
+        """Normalize run()'s *until* argument (shared with subclasses).
+
+        Returns the armed until-Event, None (run to exhaustion), or a
+        ``(_ALREADY_DONE, value)`` pair when there is nothing to do.
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until ({at}) is in the past (now={self._now})")
+            if at == self._now:
+                return (self._ALREADY_DONE, None)  # zero-length advance
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=URGENT, delay=at - self._now)
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                return (self._ALREADY_DONE, until._value)
+            until.callbacks.append(_stop_simulation)
+        return until
+
     def run(self, until: Any = None) -> Any:
         """Run until *until* (a time, an event, or exhaustion).
 
@@ -317,21 +347,9 @@ class Environment:
         """
         if self._halted:
             return self._halt_reason
-        if until is not None and not isinstance(until, Event):
-            at = float(until)
-            if at < self._now:
-                raise ValueError(f"until ({at}) is in the past (now={self._now})")
-            if at == self._now:
-                return None  # zero-length advance: nothing to do
-            until = Event(self)
-            until._ok = True
-            until._value = None
-            self.schedule(until, priority=URGENT, delay=at - self._now)
-
-        if isinstance(until, Event):
-            if until.callbacks is None:
-                return until._value
-            until.callbacks.append(_stop_simulation)
+        until = self._resolve_until(until)
+        if isinstance(until, tuple) and until[0] is self._ALREADY_DONE:
+            return until[1]
 
         # The hot dispatch loop: _dispatch() inlined with the queue,
         # front slot, pop, callback-list pool, and hot globals hoisted

@@ -96,6 +96,7 @@ class Event:
         # event scheduling, so skip the method call and insert directly.
         # A succeeded event fires at the current instant, so it usually
         # wins the environment's front slot and bypasses the heap.
+        # simlint: disable=SIM005  (kernel-internal fused scheduling)
         env = self.env
         env._eid += 1
         entry = (env._now, NORMAL, env._eid, self)
@@ -107,6 +108,7 @@ class Event:
             env._next = entry
         else:
             heappush(env._queue, entry)
+        # simlint: enable=SIM005
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -177,6 +179,7 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
+        # simlint: disable=SIM005  (kernel-internal fused scheduling)
         env._eid += 1
         entry = (env._now + delay, NORMAL, env._eid, self)
         nxt = env._next
@@ -187,6 +190,7 @@ class Timeout(Event):
             env._next = entry
         else:
             heappush(env._queue, entry)
+        # simlint: enable=SIM005
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -208,6 +212,7 @@ class Initialize(Event):
         self.defused = False
         self._ok = True
         self._value = None
+        # simlint: disable=SIM005  (kernel-internal fused scheduling)
         env._eid += 1
         entry = (env._now, URGENT, env._eid, self)
         nxt = env._next
@@ -218,6 +223,7 @@ class Initialize(Event):
             env._next = entry
         else:
             heappush(env._queue, entry)
+        # simlint: enable=SIM005
 
 
 class ConditionValue:

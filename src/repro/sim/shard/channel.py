@@ -76,7 +76,7 @@ class ShardRouter:
 class InterShardChannel:
     """Coordinator-side message pool with canonical per-epoch delivery."""
 
-    def __init__(self, epoch: float):
+    def __init__(self, epoch: float, sanitize: bool = False):
         if epoch <= 0:
             raise ValueError(f"epoch width must be positive, got {epoch}")
         self.epoch = epoch
@@ -86,6 +86,11 @@ class InterShardChannel:
         #: the receiving shard's past — the conservative-sync bug this
         #: class exists to make impossible).
         self._released_until = 0.0
+        #: Sanitize mode: additionally track every (src_node, seq) pair
+        #: ever pushed and fail on a duplicate — a re-sent or doubly
+        #: drained message would silently reorder canonical delivery.
+        self.sanitize = bool(sanitize)
+        self._seen_seqs = set() if self.sanitize else None
 
     def push(self, messages: List[ShardMessage]) -> None:
         """Pool freshly drained outbox messages (any order)."""
@@ -96,6 +101,24 @@ class InterShardChannel:
                     f"epochs up to {self._released_until} already ran — "
                     "link latency below the sync window?"
                 )
+        if self._seen_seqs is not None:
+            from repro.analysis.sanitizer import SanitizerError
+
+            for message in messages:
+                key = (message.src_node, message.seq)
+                if key in self._seen_seqs:
+                    raise SanitizerError(
+                        "duplicate shard message: the same (src_node, seq) "
+                        "was pushed twice — a re-send or double drain would "
+                        "silently reorder canonical delivery",
+                        context={
+                            "src_node": message.src_node,
+                            "seq": message.seq,
+                            "kind": message.kind,
+                            "arrival": message.arrival,
+                        },
+                    )
+                self._seen_seqs.add(key)
         self._pending.extend(messages)
 
     def pending_count(self) -> int:

@@ -63,6 +63,20 @@ def place_block(seed: int, stream_id: int, block_index: int, nodes: int, replica
 class ClusterNode:
     """One fleet machine: local stack, tenant tasks, protocol handlers."""
 
+    __slots__ = (
+        "env",
+        "router",
+        "cluster",
+        "index",
+        "machine",
+        "tasks",
+        "buckets",
+        "bytes_written",
+        "chunk_errors",
+        "_pending",
+        "_corr",
+    )
+
     def __init__(self, env, router: ShardRouter, cluster: ClusterConfig, index: int):
         from repro.experiments.common import build_node, default_fault_plan
 
@@ -222,6 +236,17 @@ class ClusterNode:
 
 class ClientStream:
     """One tenant stream: pipelined block writes through a gateway node."""
+
+    __slots__ = (
+        "node",
+        "spec",
+        "cluster",
+        "until",
+        "bytes_acked",
+        "chunk_errors",
+        "latencies",
+        "process",
+    )
 
     def __init__(self, gateway: "ClusterNode", spec: StreamSpec, duration: float):
         self.node = gateway

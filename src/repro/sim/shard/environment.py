@@ -24,7 +24,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 from repro.config import ClusterConfig
-from repro.sim.core import Environment
 from repro.sim.shard.channel import ShardRouter
 from repro.sim.shard.cluster import ClientStream, ClusterNode, StreamSpec
 from repro.sim.shard.message import ShardMessage
@@ -43,9 +42,15 @@ class ShardEnvironment:
     ):
         if not node_indices:
             raise ValueError(f"shard {shard_index} owns no nodes")
+        from repro.experiments.common import default_sanitize, make_environment
+
         self.cluster = cluster
         self.shard_index = shard_index
-        self.env = Environment()
+        #: With the session sanitize flag on, the shard's event loop is
+        #: a SanitizedEnvironment and inject() enforces conservative-
+        #: sync causality per delivered message.
+        self.sanitize = default_sanitize()
+        self.env = make_environment(self.sanitize)
         self.router = ShardRouter(self.env, shard_index, cluster.link_latency)
         #: Node index -> machine, built in ascending index order so the
         #: build sequence (and thus each node's id namespace) matches
@@ -85,6 +90,11 @@ class ShardEnvironment:
         the shard layout into same-timestamp event ordering.
         """
         now = self.env.now
+        if self.sanitize:
+            from repro.analysis.sanitizer import check_delivery
+
+            for message in messages:
+                check_delivery(now, message.arrival, message)
         for message in messages:
             event = self.env.timeout(message.arrival - now)
             event.callbacks.append(self._make_delivery(message))

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import ClusterConfig
 from repro.sim.shard.channel import InterShardChannel
@@ -101,6 +101,7 @@ def _shard_worker(conn, cluster_dict, shard_index, node_indices, specs, duration
         common.set_default_queue_depth(session.get("queue_depth", 1))
         common.set_default_hedge(session.get("hedge", False))
         common.set_default_fast_forward(session.get("fast_forward", False))
+        common.set_default_sanitize(session.get("sanitize", False))
 
         cluster = ClusterConfig.from_dict(cluster_dict)
         shard = ShardEnvironment(
@@ -241,6 +242,7 @@ class ShardedRun:
             "queue_depth": common.default_queue_depth(),
             "hedge": common.default_hedge(),
             "fast_forward": common.default_fast_forward(),
+            "sanitize": common.default_sanitize(),
         }
 
     def _spawn_shards(self, partitions):
@@ -266,8 +268,10 @@ class ShardedRun:
         node_to_shard = {
             node: shard for shard, nodes in enumerate(partitions) for node in nodes
         }
+        from repro.experiments.common import default_sanitize
+
         epoch = self.cluster.link_latency
-        channel = InterShardChannel(epoch)
+        channel = InterShardChannel(epoch, sanitize=default_sanitize())
         vehicles = self._spawn_shards(partitions)
         try:
             t = 0.0

@@ -15,6 +15,7 @@ silent no-op rather than a skip, so the suite still runs.
 
 import os
 import signal
+import time
 
 import pytest
 
@@ -45,10 +46,22 @@ def _test_timeout(request):
         )
 
     previous = signal.signal(signal.SIGALRM, _timed_out)
-    # setitimer, not alarm(): sub-second budgets and no rounding.
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    # setitimer, not alarm(): sub-second budgets and no rounding.  Its
+    # return value is any timer a nested harness (an outer pytest, a
+    # watchdog wrapper) already had pending — re-arm it on exit with
+    # the elapsed test time subtracted, instead of silently zeroing
+    # the outer deadline.
+    outer_delay, outer_interval = signal.setitimer(signal.ITIMER_REAL, seconds)
+    started = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - started)
+            # An already-expired outer deadline still fires (promptly):
+            # setitimer(0) would instead cancel it.
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), outer_interval
+            )

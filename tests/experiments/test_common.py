@@ -35,7 +35,7 @@ def test_build_stack_writeback_toggle():
 
 def test_drive_and_run_for():
     env, machine = build_stack(scheduler=Noop(), memory_bytes=64 * MB)
-    task = machine.spawn("t")
+    machine.spawn("t")
 
     def proc():
         yield env.timeout(1.5)

@@ -45,7 +45,7 @@ def test_slice_budget_scales_with_priority():
     cfq = CFQ(base_slice=0.1)
     env, table, queue = make_stack(cfq)
     high = table.spawn("high", priority=0)
-    low = table.spawn("low", priority=7)
+    table.spawn("low", priority=7)
 
     def proc():
         e1 = queue.submit(BlockRequest(READ, 0, 1, high))

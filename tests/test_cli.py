@@ -67,3 +67,42 @@ def test_export_subcommand(tmp_path, capsys, monkeypatch):
     assert code == 0
     assert (tmp_path / "figtest.json").exists()
     assert "figtest" in (tmp_path / "REPORT.md").read_text()
+
+
+def test_lint_clean_path_exits_zero(tmp_path, capsys):
+    ok = tmp_path / "ok.py"
+    ok.write_text("def f(env):\n    return env.now\n")
+    assert main(["lint", str(ok)]) == 0
+    assert "simlint: clean" in capsys.readouterr().out
+
+
+def test_lint_violation_exits_nonzero_with_location_and_fixit(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(items, env, entry):\n"
+        "    for x in set(items):\n"
+        "        env._queue.append(entry)\n"
+    )
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:2:" in out and "SIM002" in out
+    assert f"{bad}:3:" in out and "SIM005" in out
+    assert "fix:" in out
+
+
+def test_lint_json_format_and_select(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(items, env, entry):\n"
+        "    for x in set(items):\n"
+        "        env._queue.append(entry)\n"
+    )
+    assert main(["lint", str(bad), "--format", "json",
+                 "--select", "SIM005"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [v["rule"] for v in payload] == ["SIM005"]
+
+
+def test_lint_rejects_unknown_rule(tmp_path, capsys):
+    assert main(["lint", str(tmp_path), "--select", "SIM999"]) == 2
+    assert "unknown rules" in capsys.readouterr().err

@@ -194,6 +194,39 @@ def bench_cached_write_syscall(repeats: int) -> dict:
     return {"writes": writes, "us_per_write": round(best * 1e6 / writes, 3)}
 
 
+def bench_vfs_open_close(repeats: int) -> dict:
+    """Descriptor churn: open()/close() cycles through the VFS tables.
+
+    Opens publish no hook events by design, so this measures the pure
+    bookkeeping path — fd allocation, open-file refcounts, deferred-free
+    accounting — plus the per-call CPU cost event.
+    """
+    cycles = 2000
+
+    def run():
+        env = Environment()
+        machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=256 * MB)
+        task = machine.spawn("o")
+
+        def body():
+            handle = yield from machine.creat(task, "/f")
+            yield from machine.close(handle)
+            for _ in range(cycles):
+                handle = yield from machine.open(task, "/f")
+                yield from machine.close(handle)
+
+        proc = env.process(body())
+        env.run(until=proc)
+
+    run()
+    best = _best_of(run, repeats)
+    return {
+        "cycles": cycles,
+        "us_per_cycle": round(best * 1e6 / cycles, 3),
+        "opens_per_sec": round(cycles / best),
+    }
+
+
 def bench_cache_mark_dirty(repeats: int) -> dict:
     pages = 1000
     env = Environment()
@@ -310,6 +343,7 @@ MICROBENCHES = {
     "event_cohort": bench_event_cohort,
     "fast_forward": bench_fast_forward,
     "cached_write_syscall": bench_cached_write_syscall,
+    "vfs_open_close": bench_vfs_open_close,
     "cache_mark_dirty": bench_cache_mark_dirty,
     "cache_hit_lookup": bench_cache_hit_lookup,
     "mq_dispatch": bench_mq_dispatch,
@@ -394,6 +428,7 @@ GATED_METRICS = (
     ("event_loop", "events_per_sec"),
     ("event_cohort", "events_per_sec"),
     ("mq_dispatch", "requests_per_sec"),
+    ("vfs_open_close", "opens_per_sec"),
     ("fast_forward", "speedup"),
     ("shard_sync", "epochs_per_sec"),
 )

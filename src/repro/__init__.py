@@ -18,7 +18,7 @@ Quickstart::
 """
 
 from repro.sim import Environment
-from repro.syscall import OS, FileHandle
+from repro.syscall import OS, FileHandle, OpenFile
 from repro.devices import HDD, SSD
 from repro.proc import Task
 from repro.units import GB, KB, MB, PAGE_SIZE
@@ -33,6 +33,7 @@ __all__ = [
     "KB",
     "MB",
     "OS",
+    "OpenFile",
     "PAGE_SIZE",
     "SSD",
     "Task",

@@ -65,15 +65,18 @@ class DataNode:
         task = self.account_task(account)
         handle = yield from self.os.open(task, path, create=True)
         n = yield from handle.append(nbytes)
+        yield from self.os.close(handle)
         self.bytes_written += n
         return n
 
     def sync_replica(self, account: str, path: str):
         """Generator: make a finished replica durable (block close)."""
         task = self.account_task(account)
-        inode = self.os.fs.lookup(path)
-        if inode is not None:
-            yield from self.os.fsync(task, inode)
+        if self.os.fs.lookup(path) is None:
+            return
+        handle = yield from self.os.open(task, path)
+        yield from handle.fsync()
+        yield from self.os.close(handle)
 
 
 class HDFSCluster:
@@ -197,16 +200,17 @@ class HDFSCluster:
                 break
             node = self.rng.choice(holders)
             task = node.account_task(account)
-            inode = node.os.fs.lookup(replica_path)
+            handle = yield from node.os.open(task, replica_path)
             offset = 0
-            while offset < inode.size:
-                n = yield from node.os.read(task, inode, offset, chunk)
+            while offset < handle.size:
+                n = yield from handle.pread(offset, chunk)
                 if n <= 0:
                     break
                 offset += n
                 total += n
                 if tracker is not None:
                     tracker.add(n, env.now)
+            yield from node.os.close(handle)
             block_index += 1
         return total
 

@@ -85,6 +85,15 @@ class Postgres:
             self.os, self.checkpoint_task, f"/{self.name}.db", self.table_bytes
         )
         self.wal = yield from self.os.creat(self.worker_tasks[0], f"/{self.name}.wal")
+        # Per-worker descriptors: table reads/updates and the foreground
+        # WAL fsync are attributed to the issuing worker.  WAL *appends*
+        # stay on the shared handle (worker 0), mirroring a dedicated
+        # WAL-writer process — the attribution the stack always had.
+        self._table_h = {}
+        self._wal_h = {}
+        for task in self.worker_tasks:
+            self._table_h[task.pid] = yield from self.os.open(task, f"/{self.name}.db")
+            self._wal_h[task.pid] = yield from self.os.open(task, f"/{self.name}.wal")
         self.os.env.process(self._checkpointer(), name=f"{self.name}-ckpt")
 
     def run_bench(self, duration: float, think: float = 0.002, rate_per_worker: Optional[float] = None):
@@ -129,15 +138,16 @@ class Postgres:
 
     def _transaction(self, task):
         pages = self.table_bytes // PAGE_SIZE
+        table = self._table_h[task.pid]
         for _ in range(self.reads_per_txn):
             page = self.rng.randrange(0, pages)
-            yield from self.os.read(task, self.table.inode, page * PAGE_SIZE, PAGE_SIZE)
+            yield from table.pread(page * PAGE_SIZE, PAGE_SIZE)
         # The row update dirties one table page (checkpoint flushes it).
         page = self.rng.randrange(0, pages)
-        yield from self.os.write(task, self.table.inode, page * PAGE_SIZE, PAGE_SIZE)
+        yield from table.pwrite(page * PAGE_SIZE, PAGE_SIZE)
         # Commit record: WAL append + foreground fsync.
         yield from self.wal.append(self.wal_record)
-        yield from self.os.fsync(task, self.wal.inode)
+        yield from self._wal_h[task.pid].fsync()
 
     def _checkpointer(self):
         env = self.os.env
@@ -146,5 +156,7 @@ class Postgres:
             if self._stop:
                 return
             # Flush every dirty table page, then force it all to disk.
-            yield from self.os.fsync(self.checkpoint_task, self.table.inode)
+            # self.table is the checkpointer's own handle (prefilled
+            # under checkpoint_task), so attribution is unchanged.
+            yield from self.table.fsync()
             self.checkpoints += 1

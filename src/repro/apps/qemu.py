@@ -51,14 +51,12 @@ class FileBackedDevice(Device):
         start = self.host_os.env.now
         offset = request.block * PAGE_SIZE
         nbytes = request.nblocks * PAGE_SIZE
+        # The image handle belongs to the host task, so positional I/O
+        # through it is attributed to the whole VM.
         if request.is_read:
-            yield from self.host_os.read(
-                self.host_task, self.image.inode, offset, nbytes, direct=True
-            )
+            yield from self.image.pread(offset, nbytes, direct=True)
         else:
-            yield from self.host_os.write(
-                self.host_task, self.image.inode, offset, nbytes, direct=True
-            )
+            yield from self.image.pwrite(offset, nbytes, direct=True)
         self._last_block_end = request.block + request.nblocks
         self._account(request.op, request.nblocks, self.host_os.env.now - start)
 

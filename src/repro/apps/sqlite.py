@@ -58,6 +58,11 @@ class SQLiteDB:
             self.os, self.worker, f"/{self.name}.db", self.table_bytes
         )
         self.wal = yield from self.os.creat(self.worker, f"/{self.name}.wal")
+        # The checkpointer owns its own descriptor on the table, so its
+        # writes and fsyncs are attributed to the checkpoint task.
+        self.table_ckpt = yield from self.os.open(
+            self.checkpoint_task, f"/{self.name}.db"
+        )
         self.os.env.process(self._checkpointer(), name=f"{self.name}-ckpt")
 
     # -- the transaction path ------------------------------------------------
@@ -68,10 +73,10 @@ class SQLiteDB:
         start = env.now
         # Read the row's page.
         page = self.rng.randrange(0, self.table_bytes // PAGE_SIZE)
-        yield from self.os.read(self.worker, self.table.inode, page * PAGE_SIZE, PAGE_SIZE)
+        yield from self.table.pread(page * PAGE_SIZE, PAGE_SIZE)
         # Append the WAL record and make it durable.
         yield from self.wal.append(self.wal_record)
-        yield from self.os.fsync(self.worker, self.wal.inode)
+        yield from self.wal.fsync()
         self.latency.record(env.now, env.now - start)
         # Track table dirtiness; trip the checkpointer at the threshold.
         self._dirty_rows.add(page)
@@ -106,9 +111,7 @@ class SQLiteDB:
                 continue
             # Copy each dirty row's page into the table file...
             for page in sorted(rows):
-                yield from self.os.write(
-                    self.checkpoint_task, self.table.inode, page * PAGE_SIZE, PAGE_SIZE
-                )
+                yield from self.table_ckpt.pwrite(page * PAGE_SIZE, PAGE_SIZE)
             # ...make the table durable, then the WAL is logically reset.
-            yield from self.os.fsync(self.checkpoint_task, self.table.inode)
+            yield from self.table_ckpt.fsync()
             self.checkpoints += 1

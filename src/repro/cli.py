@@ -407,6 +407,21 @@ def main(argv=None) -> int:
     )
     lint_parser.set_defaults(func=cmd_lint)
 
+    demo_parser = sub.add_parser(
+        "fs-demo",
+        help="scripted reprofs session: ordinary file-API calls "
+             "(open/write/ls/mv/rm) driving the simulated stack",
+    )
+    demo_parser.add_argument(
+        "--device", choices=("hdd", "ssd"), default="ssd",
+        help="device model for the demo stack (default ssd)",
+    )
+    demo_parser.add_argument(
+        "--scheduler", default=None,
+        help="scheduler registry name (default: noop pass-through)",
+    )
+    demo_parser.set_defaults(func=cmd_fs_demo)
+
     export_parser = sub.add_parser("export", help="run experiments, write JSON + report")
     export_parser.add_argument("out_dir", help="directory for <id>.json files and REPORT.md")
     export_parser.add_argument(
@@ -506,6 +521,50 @@ def cmd_lint(args) -> int:
     else:
         print(format_text(violations))
     return 1 if violations else 0
+
+
+def cmd_fs_demo(args) -> int:
+    """A scripted reprofs session: plain file-API calls driving the
+    simulated stack, with the sim clock printed after each step."""
+    from repro.units import KB, MB
+    from repro.vfs.reprofs import ReproFileSystem
+
+    fs = ReproFileSystem(
+        tenant="demo",
+        device=args.device,
+        scheduler=args.scheduler,
+        memory_bytes=64 * MB,
+    )
+
+    def step(label):
+        print(f"  t={fs.env.now * 1e3:8.3f} ms  {label}")
+
+    print(f"reprofs demo on {fs!r}")
+    fs.makedirs("/data/logs")
+    step("makedirs /data/logs")
+    with fs.open("repro://data/report.bin", "wb") as f:
+        f.write(b"header:" + b"\x00" * (256 * KB))
+        f.flush()
+    step("wrote + fsynced /data/report.bin (256 KiB)")
+    with fs.open("/data/logs/app.log", "ab") as f:
+        for i in range(4):
+            f.write(f"line {i}\n".encode())
+    step("appended 4 records to /data/logs/app.log")
+    print(f"  ls /data -> {fs.ls('/data')}")
+    info = fs.info("/data/report.bin")
+    print(f"  info -> {info}")
+    head = fs.cat_file("/data/report.bin", start=0, end=7)
+    step(f"read back header {head!r}")
+    fs.mv("/data/report.bin", "/data/logs/report.bin")
+    step("renamed report into /data/logs")
+    fs.rm("/data", recursive=True)
+    step("recursively removed /data")
+    stats = fs.os.device.stats
+    print(
+        f"device: {stats.reads} reads / {stats.writes} writes, "
+        f"{fs.pump.episodes} pump episodes, final clock {fs.env.now * 1e3:.3f} ms"
+    )
+    return 0
 
 
 def cmd_export(args) -> int:

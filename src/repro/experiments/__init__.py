@@ -35,5 +35,6 @@ EXPERIMENTS = {
     "fig22": ("repro.experiments.fig22_queue_depth", "Figure 22: multi-queue dispatch vs depth"),
     "fig23": ("repro.experiments.fig23_fail_slow", "Figure 23: hedged dispatch under fail-slow"),
     "fig24": ("repro.experiments.fig24_fleet", "Figure 24: fleet-scale isolation (sharded)"),
+    "fig25": ("repro.experiments.fig25_reprofs_tenants", "Figure 25: file-API tenants under reprofs"),
     "tab1": ("repro.experiments.tab1_properties", "Table 1: framework properties"),
 }

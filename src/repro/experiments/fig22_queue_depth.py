@@ -46,7 +46,7 @@ def _direct_read_thread(machine, task, path, duration, chunk, tracker, rng):
     end = env.now + duration
     while env.now < end:
         offset = rng.randrange(0, span) * PAGE_SIZE
-        n = yield from machine.read(task, handle.inode, offset, chunk, direct=True)
+        n = yield from handle.pread(offset, chunk, direct=True)
         tracker.add(n, env.now)
 
 

@@ -71,7 +71,7 @@ def _timed_read_thread(machine, task, path, duration, chunk, recorder, rng):
     while env.now < end:
         offset = rng.randrange(0, span) * PAGE_SIZE
         start = env.now
-        yield from machine.read(task, handle.inode, offset, chunk, direct=True)
+        yield from handle.pread(offset, chunk, direct=True)
         recorder.record(env.now, env.now - start)
 
 

@@ -142,20 +142,81 @@ class FileSystem:
         self.journal.add_metadata(task, parent.metadata_block)
         return inode
 
-    def unlink(self, task: "Task", path: str) -> None:
-        """Delete a file: free pages (buffer-free hook fires) and blocks."""
+    def children(self, dirpath: str) -> List[str]:
+        """Direct children of *dirpath* in the flat namespace, sorted.
+
+        Derived by scanning the namespace on demand — there is no
+        second index to fall out of sync with ``create``/``unlink``.
+        """
+        prefix = "/" if dirpath == "/" else dirpath + "/"
+        return sorted(
+            path
+            for path in self._namespace
+            if path != dirpath
+            and path.startswith(prefix)
+            and "/" not in path[len(prefix):]
+        )
+
+    def unlink(self, task: "Task", path: str, release: bool = True) -> Inode:
+        """Remove *path* from the namespace; returns the inode.
+
+        With ``release`` (the default) the file's pages are freed (the
+        buffer-free hook fires) and its disk blocks returned.  The VFS
+        passes ``release=False`` while live handles reference the inode
+        — POSIX deferred free — and calls :meth:`release_inode` itself
+        on the last close.
+        """
         inode = self._namespace.pop(path, None)
         if inode is None:
             raise FileNotFoundError(path)
+        if release:
+            self.release_inode(inode)
+        inode.nlink = 0
+        parent = self._parent_dir(path)
+        self.journal.add_metadata(task, parent.metadata_block)
+        self.journal.add_metadata(task, inode.metadata_block)
+        return inode
+
+    def release_inode(self, inode: Inode) -> None:
+        """Free an inode's cached pages and disk blocks (last unref)."""
         self.cache.free_file(inode.id)
         for index, block in inode.block_map.items():
             self.allocator.free(block, 1)
         inode.block_map.clear()
-        inode.nlink = 0
-        del self._inodes[inode.id]
-        parent = self._parent_dir(path)
-        self.journal.add_metadata(task, parent.metadata_block)
+        self._inodes.pop(inode.id, None)
+        self._last_read_end.pop(inode.id, None)
+
+    def rename(self, task: "Task", old_path: str, new_path: str) -> Inode:
+        """Move *old_path* to *new_path* (directories carry subtrees).
+
+        The target must not exist and its parent directory must; both
+        parents and the moved inode join the running transaction, like
+        a journaled directory-entry update.
+        """
+        inode = self._namespace.get(old_path)
+        if inode is None:
+            raise FileNotFoundError(old_path)
+        if new_path in self._namespace:
+            raise FileExistsError(new_path)
+        if new_path == old_path or (
+            inode.is_dir and new_path.startswith(old_path + "/")
+        ):
+            raise ValueError(f"cannot move {old_path!r} into itself")
+        old_parent = self._parent_dir(old_path)
+        new_parent = self._parent_dir(new_path)
+        moved = [old_path]
+        if inode.is_dir:
+            prefix = old_path + "/"
+            moved.extend(p for p in self._namespace if p.startswith(prefix))
+        for path in moved:
+            node = self._namespace.pop(path)
+            rekeyed = new_path + path[len(old_path):]
+            node.path = rekeyed
+            self._namespace[rekeyed] = node
+        self.journal.add_metadata(task, old_parent.metadata_block)
+        self.journal.add_metadata(task, new_parent.metadata_block)
         self.journal.add_metadata(task, inode.metadata_block)
+        return inode
 
     def truncate(self, task: "Task", inode: Inode, new_size: int) -> None:
         """Shrink (or sparsely extend) a file.

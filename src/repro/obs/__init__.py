@@ -26,6 +26,8 @@ from repro.obs.bus import (
     StackBus,
     SyscallEnter,
     SyscallReturn,
+    VfsClose,
+    VfsOpen,
     WritebackBatch,
 )
 from repro.obs.export import (
@@ -58,6 +60,8 @@ __all__ = [
     "StackBus",
     "SyscallEnter",
     "SyscallReturn",
+    "VfsClose",
+    "VfsOpen",
     "WritebackBatch",
     "bytes_by_cause",
     "format_report",

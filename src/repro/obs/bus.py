@@ -42,6 +42,37 @@ class SyscallReturn(NamedTuple):
     info: Dict[str, Any]
 
 
+class VfsOpen(NamedTuple):
+    """A task opened (or created) a file through the VFS layer.
+
+    Published by the descriptor-table layer, not the syscall hooks:
+    handle bookkeeping is free of simulated cost, so this event exists
+    for attribution (which tenant owns which fd) without perturbing
+    scheduler hook sequences or fast-forward disturbance counters.
+    """
+
+    time: float
+    task: Any
+    path: str
+    fd: int
+    mode: str
+
+
+class VfsClose(NamedTuple):
+    """A task closed a VFS file descriptor.
+
+    ``released`` is True when this close dropped the last live handle
+    of an already-unlinked inode and its resources were freed (the
+    POSIX deferred-free path).
+    """
+
+    time: float
+    task: Any
+    fd: int
+    inode_id: int
+    released: bool
+
+
 class PageDirtied(NamedTuple):
     """A page-cache buffer was dirtied (or a dirty buffer re-modified).
 
@@ -179,6 +210,8 @@ class HealthTransition(NamedTuple):
 EVENT_TYPES = (
     SyscallEnter,
     SyscallReturn,
+    VfsOpen,
+    VfsClose,
     PageDirtied,
     PageCleaned,
     PageFreed,

@@ -32,49 +32,14 @@ from repro.obs.bus import StackBus, SyscallEnter, SyscallReturn
 from repro.proc import ProcessTable, Task
 from repro.syscall.cpu import CPU
 from repro.units import GB
+from repro.vfs.handle import FileHandle, OpenFile, parse_mode
+from repro.vfs.vfs import VFS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.devices.base import Device
     from repro.sim.core import Environment
 
-
-class FileHandle:
-    """An open file: an inode plus a cursor, with convenience methods."""
-
-    def __init__(self, os: "OS", task: Task, inode: Inode):
-        self.os = os
-        self.task = task
-        self.inode = inode
-        self.pos = 0
-
-    def read(self, nbytes: int):
-        """Generator: read *nbytes* at the cursor, advancing it."""
-        n = yield from self.os.read(self.task, self.inode, self.pos, nbytes)
-        self.pos += n
-        return n
-
-    def write(self, nbytes: int):
-        """Generator: write *nbytes* at the cursor, advancing it."""
-        n = yield from self.os.write(self.task, self.inode, self.pos, nbytes)
-        self.pos += n
-        return n
-
-    def append(self, nbytes: int):
-        """Generator: write *nbytes* at end of file."""
-        n = yield from self.os.write(self.task, self.inode, self.inode.size, nbytes)
-        return n
-
-    def pread(self, offset: int, nbytes: int):
-        return (yield from self.os.read(self.task, self.inode, offset, nbytes))
-
-    def pwrite(self, offset: int, nbytes: int):
-        return (yield from self.os.write(self.task, self.inode, offset, nbytes))
-
-    def fsync(self):
-        return (yield from self.os.fsync(self.task, self.inode))
-
-    def seek(self, offset: int) -> None:
-        self.pos = offset
+__all__ = ["OS", "FileHandle", "OpenFile"]
 
 
 class OS:
@@ -169,6 +134,10 @@ class OS:
             config=writeback_config, enabled=writeback_enabled,
         )
         self.fs.writeback = self.writeback
+        #: The VFS layer: path namespace, per-task descriptor tables,
+        #: ref-counted open files.  Pure bookkeeping (no simulated
+        #: cost); the costed syscalls below delegate to it.
+        self.vfs = VFS(self)
         self.memory_cost_model = MemoryCostModel()
         self.disk_cost_model = DiskCostModel(self.device)
 
@@ -202,17 +171,33 @@ class OS:
 
     # -- the syscall API --------------------------------------------------------
 
-    def creat(self, task: Task, path: str):
+    def creat(self, task: Task, path: str, mode: str = "r+",
+              causes=None, readahead: int = 0):
         """Generator: create a file, returning an open handle."""
         info = {"path": path}
         yield from self._entry(task, "creat", info)
         yield from self.cpu.consume(task, self.cpu.syscall_cost())
         inode = self.fs.create(task, path)
         self._return(task, "creat", info)
-        return FileHandle(self, task, inode)
+        return self.vfs.register(
+            task, inode, mode=mode, causes=causes, readahead=readahead
+        )
 
-    def mkdir(self, task: Task, path: str):
-        """Generator: create a directory."""
+    def mkdir(self, task: Task, path: str, parents: bool = False):
+        """Generator: create a directory.
+
+        ``parents=True`` is ``mkdir -p``: missing ancestors are created
+        first (each one a full mkdir, cost and hooks included) and an
+        already-existing directory is not an error.
+        """
+        if parents:
+            inode = self.fs.lookup(path)
+            if inode is not None:
+                if not inode.is_dir:
+                    raise NotADirectoryError(path)
+                return inode
+            for ancestor in self.vfs.missing_parents(path):
+                yield from self.mkdir(task, ancestor)
         info = {"path": path}
         yield from self._entry(task, "mkdir", info)
         yield from self.cpu.consume(task, self.cpu.syscall_cost())
@@ -220,15 +205,87 @@ class OS:
         self._return(task, "mkdir", info)
         return inode
 
-    def open(self, task: Task, path: str, create: bool = False):
-        """Generator: open (optionally creating) a file."""
+    def open(self, task: Task, path: str, create: bool = False,
+             mode: Optional[str] = None, causes=None, readahead: int = 0):
+        """Generator: open (optionally creating) a file.
+
+        Legacy callers pass ``create=True``; frontends pass a Python
+        mode string (``"r"``, ``"r+"``, ``"w"``, ``"a"``, ``"x"``, …)
+        which implies its own create/truncate/append behaviour.  Like
+        the legacy path, plain opens publish no syscall hook events —
+        only the zero-cost ``VfsOpen`` bus event — so scheduler hook
+        sequences and fast-forward disturbance counters do not move.
+        """
+        flags = parse_mode(mode) if mode is not None else None
         inode = self.fs.lookup(path)
         if inode is None:
-            if not create:
+            wants_create = create or (flags is not None and flags.create)
+            if not wants_create:
                 raise FileNotFoundError(path)
-            return (yield from self.creat(task, path))
+            return (
+                yield from self.creat(
+                    task, path, mode=mode or "r+",
+                    causes=causes, readahead=readahead,
+                )
+            )
+        if flags is not None and flags.exclusive:
+            raise FileExistsError(path)
+        if inode.is_dir:
+            raise IsADirectoryError(path)
         yield from self.cpu.consume(task, self.cpu.syscall_cost())
-        return FileHandle(self, task, inode)
+        if flags is not None and flags.truncate and inode.size:
+            self.fs.truncate(task, inode, 0)
+        handle = self.vfs.register(
+            task, inode, mode=mode or "r+", causes=causes, readahead=readahead
+        )
+        if flags is not None and flags.append:
+            handle.pos = inode.size
+        return handle
+
+    def close(self, handle: OpenFile):
+        """Generator: release a descriptor.
+
+        Returns True when this close freed an unlinked inode's
+        resources (the POSIX deferred-free path).  Like ``open``, no
+        syscall hook fires — only the zero-cost ``VfsClose`` bus event.
+        """
+        yield from self.cpu.consume(handle.task, self.cpu.syscall_cost())
+        return self.vfs.release(handle)
+
+    def rmdir(self, task: Task, path: str):
+        """Generator: remove an empty directory."""
+        info = {"path": path}
+        yield from self._entry(task, "rmdir", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        self.vfs.rmdir(task, path)
+        self._return(task, "rmdir", info)
+
+    def rename(self, task: Task, old_path: str, new_path: str):
+        """Generator: move a file or directory (subtrees move whole)."""
+        info = {"path": old_path, "new_path": new_path}
+        yield from self._entry(task, "rename", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        inode = self.vfs.rename(task, old_path, new_path)
+        self._return(task, "rename", info)
+        return inode
+
+    def stat(self, task: Task, path: str):
+        """Generator: file metadata (fsspec-shaped info dict)."""
+        info = {"path": path}
+        yield from self._entry(task, "stat", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        result = self.vfs.info(path)
+        self._return(task, "stat", info)
+        return result
+
+    def ls(self, task: Task, path: str, detail: bool = False):
+        """Generator: list a directory (one getdents-ish syscall)."""
+        info = {"path": path}
+        yield from self._entry(task, "ls", info)
+        yield from self.cpu.consume(task, self.cpu.syscall_cost())
+        result = self.vfs.ls(path, detail=detail)
+        self._return(task, "ls", info)
+        return result
 
     def read(self, task: Task, inode: Inode, offset: int, nbytes: int, direct: bool = False):
         """Generator: read; returns bytes actually read.
@@ -236,6 +293,8 @@ class OS:
         ``direct=True`` is O_DIRECT: the page cache is bypassed (used
         by hypervisors running with cache=none).
         """
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"negative read range: offset={offset} nbytes={nbytes}")
         info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
         yield from self._entry(task, "read", info)
         if direct:
@@ -255,6 +314,8 @@ class OS:
 
         Buffered by default; ``direct=True`` is synchronous O_DIRECT.
         """
+        if offset < 0 or nbytes < 0:
+            raise ValueError(f"negative write range: offset={offset} nbytes={nbytes}")
         info = {"inode": inode, "offset": offset, "nbytes": nbytes, "direct": direct}
         yield from self._entry(task, "write", info)
         if direct:
@@ -286,9 +347,14 @@ class OS:
         self._return(task, "truncate", info)
 
     def unlink(self, task: Task, path: str):
-        """Generator: delete a file (dirty buffers are discarded)."""
+        """Generator: delete a file (dirty buffers are discarded).
+
+        With live handles on the file only the *name* disappears; the
+        inode's pages and blocks survive until the last close (POSIX
+        deferred free, bookkeeping in the VFS layer).
+        """
         info = {"path": path}
         yield from self._entry(task, "unlink", info)
         yield from self.cpu.consume(task, self.cpu.syscall_cost())
-        self.fs.unlink(task, path)
+        self.vfs.unlink(task, path)
         self._return(task, "unlink", info)

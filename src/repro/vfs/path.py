@@ -1,0 +1,81 @@
+"""Path algebra for the VFS namespace.
+
+The filesystem keeps a flat ``path -> Inode`` map; these helpers define
+the one canonical spelling every layer agrees on: absolute, ``/``
+separated, no empty or ``.`` components, no trailing slash (except the
+root itself).  ``..`` is rejected — the simulator has no notion of a
+working directory, so relative navigation would only invite ambiguity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+ROOT = "/"
+
+
+def normalize(path: str) -> str:
+    """Return the canonical spelling of *path*.
+
+    Raises ``ValueError`` for relative paths, empty paths, and paths
+    containing ``..`` components.  ``//`` runs and ``.`` components are
+    collapsed; a trailing slash is dropped.
+    """
+    if not isinstance(path, str) or not path:
+        raise ValueError(f"empty path: {path!r}")
+    if not path.startswith("/"):
+        raise ValueError(f"path must be absolute: {path!r}")
+    parts = components(path)
+    if not parts:
+        return ROOT
+    return "/" + "/".join(parts)
+
+
+def components(path: str) -> List[str]:
+    """The non-empty path components, ``.`` dropped, ``..`` rejected."""
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            raise ValueError(f"'..' not supported in paths: {path!r}")
+        parts.append(part)
+    return parts
+
+
+def parent_of(path: str) -> str:
+    """The parent directory of a normalized *path* (``/`` is its own)."""
+    if path == ROOT:
+        return ROOT
+    return path.rsplit("/", 1)[0] or ROOT
+
+
+def basename(path: str) -> str:
+    """The final component of a normalized *path* (``""`` for root)."""
+    if path == ROOT:
+        return ""
+    return path.rsplit("/", 1)[1]
+
+
+def join(base: str, *parts: str) -> str:
+    """Join *parts* onto *base* and normalize the result."""
+    pieces = [base if base.startswith("/") else "/" + base]
+    pieces.extend(parts)
+    return normalize("/".join(pieces))
+
+
+def ancestors(path: str) -> Iterator[str]:
+    """Every proper ancestor of *path*, root first (root has none)."""
+    parts = components(path)
+    if not parts:
+        return
+    yield ROOT
+    for i in range(1, len(parts)):
+        yield "/" + "/".join(parts[:i])
+
+
+def is_within(path: str, directory: str) -> bool:
+    """True when *path* lives in (or below) *directory*."""
+    if directory == ROOT:
+        return True
+    return path == directory or path.startswith(directory + "/")

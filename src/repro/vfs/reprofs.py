@@ -1,0 +1,471 @@
+"""`reprofs`: the fsspec-shaped synchronous frontend to the simulator.
+
+Real applications speak file APIs, not discrete-event generators.  This
+module bridges the two worlds so any file-speaking program becomes a
+schedulable tenant of a simulated stack:
+
+- :class:`DriverPump` turns one synchronous call into one simulation
+  episode: it wraps the costed OS generator in a process and runs the
+  event loop until that process completes.  Every *other* process on
+  the stack (competing tenants, writeback, checkpointers) advances
+  concurrently during the episode, so synchronous callers genuinely
+  contend for the device.
+- :class:`ReproFileSystem` is the `AbstractFileSystem`-shaped adapter:
+  ``open``/``ls``/``info``/``cat_file``/``pipe_file``/``mv``/``rm``…
+  Every instance is one *tenant*: it spawns its own task and stamps a
+  per-handle cause set on all I/O it issues, so schedulers and the obs
+  bus attribute every byte to it.
+- :class:`ReproFile` is the file-like object ``open`` returns: read /
+  write / seek / tell / flush(=fsync) / close, with real byte payloads.
+
+Bytes vs cost: the simulation prices I/O from sizes and offsets; it
+does not move data.  ``reprofs`` keeps a per-stack shadow store of file
+contents (a ``bytearray`` per inode) so ``read`` returns the bytes that
+were written — files created by simulation-side prefill read as zeros —
+while every operation is still charged simulated time through the full
+stack (cache, journal, scheduler, device).
+
+fsspec itself is an **optional** dependency: the adapter runs
+standalone against its conformance suite, and :func:`register` grafts
+it into fsspec's registry under ``repro://`` when fsspec is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.tags import CauseSet
+from repro.vfs import path as vpath
+from repro.vfs.handle import OpenFile
+
+PROTOCOL = "repro"
+
+
+def strip_protocol(path: str) -> str:
+    """``repro://data/f`` -> ``/data/f`` (idempotent, normalizing)."""
+    for prefix in (PROTOCOL + "://", PROTOCOL + ":"):
+        if path.startswith(prefix):
+            path = path[len(prefix):]
+            break
+    if not path.startswith("/"):
+        path = "/" + path
+    return vpath.normalize(path)
+
+
+class DriverPump:
+    """Drives the event loop on behalf of synchronous callers.
+
+    One pump per stack: an episode runs the simulation until the pumped
+    syscall completes, so concurrent tenants' processes make progress
+    inside each other's episodes.  Episodes must not nest — a file-like
+    object used from *within* a simulation process should use the
+    generator API (`OpenFile`) instead.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._active = False
+        #: Completed episodes (one synchronous call each).
+        self.episodes = 0
+
+    def run(self, gen, name: str = "reprofs"):
+        if self._active:
+            raise RuntimeError(
+                "re-entrant driver pump: synchronous reprofs calls cannot "
+                "be issued from inside a simulation process"
+            )
+        self._active = True
+        try:
+            proc = self.env.process(gen, name=name)
+            value = self.env.run(until=proc)
+            self.episodes += 1
+            return value
+        finally:
+            self._active = False
+
+
+def _pump_of(machine) -> DriverPump:
+    """The per-stack pump (tenants sharing a machine share one)."""
+    pump = getattr(machine, "_reprofs_pump", None)
+    if pump is None:
+        pump = DriverPump(machine.env)
+        machine._reprofs_pump = pump
+    return pump
+
+
+def _blobs_of(machine) -> Dict[int, bytearray]:
+    """The per-stack shadow byte store (shared across tenants)."""
+    blobs = getattr(machine, "_reprofs_blobs", None)
+    if blobs is None:
+        blobs = {}
+        machine._reprofs_blobs = blobs
+    return blobs
+
+
+class ReproFile:
+    """A synchronous file-like object over one VFS handle."""
+
+    def __init__(self, fs: "ReproFileSystem", handle: OpenFile):
+        self.fs = fs
+        self.handle = handle
+        self.mode = handle.mode
+
+    # -- byte shadow ----------------------------------------------------------
+
+    def _blob(self) -> bytearray:
+        return self.fs._blobs.setdefault(self.handle.inode.id, bytearray())
+
+    def _bytes_range(self, start: int, end: int) -> bytes:
+        """Shadow bytes in [start, end); zeros where nothing was piped."""
+        blob = self.fs._blobs.get(self.handle.inode.id, b"")
+        chunk = bytes(blob[start:end])
+        if len(chunk) < end - start:
+            chunk += b"\x00" * (end - start - len(chunk))
+        return chunk
+
+    # -- file API -------------------------------------------------------------
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to *size* bytes at the cursor (all remaining if < 0)."""
+        if size is None or size < 0:
+            size = max(self.handle.inode.size - self.handle.pos, 0)
+        start = self.handle.pos
+        got = self.fs.pump.run(self.handle.read(size), name=f"{self.fs.tenant}-read")
+        return self._bytes_range(start, start + got)
+
+    def write(self, data) -> int:
+        """Write *data* (bytes or str) at the cursor; returns the count."""
+        if isinstance(data, str):
+            data = data.encode()
+        if not data:
+            return 0
+        handle = self.handle
+        offset = handle.inode.size if handle.flags.append else handle.pos
+        n = self.fs.pump.run(
+            handle.write(len(data)), name=f"{self.fs.tenant}-write"
+        )
+        blob = self._blob()
+        if len(blob) < offset:
+            blob.extend(b"\x00" * (offset - len(blob)))
+        blob[offset:offset + n] = data[:n]
+        return n
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self.handle.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self.handle.tell()
+
+    def flush(self) -> None:
+        """Force written data durable (fsync: journal commit and all)."""
+        if self.handle.flags.writable and not self.handle.closed:
+            self.fs.pump.run(self.handle.fsync(), name=f"{self.fs.tenant}-fsync")
+
+    def truncate(self, size: int) -> None:
+        self.fs.pump.run(self.handle.truncate(size))
+        blob = self.fs._blobs.get(self.handle.inode.id)
+        if blob is not None and len(blob) > size:
+            del blob[size:]
+
+    def close(self) -> None:
+        if self.handle.closed:
+            return
+        self.flush()
+        self.fs.pump.run(self.handle.close(), name=f"{self.fs.tenant}-close")
+
+    # -- trivia ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.handle.closed
+
+    def readable(self) -> bool:
+        return self.handle.flags.readable
+
+    def writable(self) -> bool:
+        return self.handle.flags.writable
+
+    def seekable(self) -> bool:
+        return True
+
+    def __enter__(self) -> "ReproFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<ReproFile {self.handle.inode.path!r} mode={self.mode!r}>"
+
+
+class ReproFileSystem:
+    """An fsspec-shaped filesystem over one simulated stack.
+
+    Each instance is one schedulable tenant: it owns a task, and every
+    byte it moves carries its cause set, so split schedulers can limit
+    it (``machine.scheduler.set_limit(fs.task, rate)``) and the obs bus
+    can bill it.  Multiple instances may share one ``machine`` — that
+    is exactly how multi-tenant contention experiments are built.
+
+    Built standalone (no fsspec required); :func:`register` exposes it
+    through fsspec's registry when fsspec is available.
+    """
+
+    protocol = PROTOCOL
+    sep = "/"
+
+    def __init__(
+        self,
+        machine=None,
+        tenant: str = "reprofs",
+        config=None,
+        **stack_kwargs,
+    ):
+        if machine is None:
+            from repro.config import StackConfig
+            from repro.experiments.common import build_stack
+
+            if config is None:
+                config = StackConfig(**stack_kwargs)
+            elif stack_kwargs:
+                config = config.replace(**stack_kwargs)
+            _, machine = build_stack(config)
+        self.os = machine
+        self.env = machine.env
+        self.tenant = tenant
+        self.pump = _pump_of(machine)
+        self._blobs = _blobs_of(machine)
+        self.task = machine.spawn(tenant)
+        #: Stamped on every handle this tenant opens.
+        self.causes = CauseSet((self.task.pid,))
+
+    # -- open/close -----------------------------------------------------------
+
+    def open(self, path: str, mode: str = "rb", readahead: int = 0) -> ReproFile:
+        """Open *path*; returns a synchronous file-like object."""
+        handle = self.pump.run(
+            self.os.open(
+                self.task, strip_protocol(path), mode=mode,
+                causes=self.causes, readahead=readahead,
+            ),
+            name=f"{self.tenant}-open",
+        )
+        return ReproFile(self, handle)
+
+    def open_handle(self, path: str, mode: str = "r+") -> OpenFile:
+        """Open *path* as a raw generator-API handle (for in-sim
+        workload processes run alongside synchronous tenants)."""
+        return self.pump.run(
+            self.os.open(
+                self.task, strip_protocol(path), mode=mode, causes=self.causes
+            ),
+            name=f"{self.tenant}-open",
+        )
+
+    def process(self, gen, name: Optional[str] = None):
+        """Spawn *gen* as a background simulation process (it advances
+        while synchronous calls pump the clock)."""
+        return self.env.process(gen, name=name or f"{self.tenant}-proc")
+
+    def touch(self, path: str) -> None:
+        self.open(path, mode="ab").close()
+
+    # -- namespace ------------------------------------------------------------
+
+    def mkdir(self, path: str, create_parents: bool = False) -> None:
+        self.pump.run(
+            self.os.mkdir(self.task, strip_protocol(path), parents=create_parents),
+            name=f"{self.tenant}-mkdir",
+        )
+
+    def makedirs(self, path: str, exist_ok: bool = False) -> None:
+        norm = strip_protocol(path)
+        if self.os.vfs.exists(norm):
+            if not exist_ok:
+                raise FileExistsError(path)
+            if not self.os.vfs.isdir(norm):
+                raise NotADirectoryError(path)
+            return
+        self.mkdir(norm, create_parents=True)
+
+    def ls(self, path: str, detail: bool = False) -> List:
+        return self.pump.run(
+            self.os.ls(self.task, strip_protocol(path), detail=detail),
+            name=f"{self.tenant}-ls",
+        )
+
+    def info(self, path: str) -> Dict:
+        return self.pump.run(
+            self.os.stat(self.task, strip_protocol(path)),
+            name=f"{self.tenant}-stat",
+        )
+
+    def exists(self, path: str) -> bool:
+        return self.os.vfs.exists(strip_protocol(path))
+
+    def isfile(self, path: str) -> bool:
+        return self.os.vfs.isfile(strip_protocol(path))
+
+    def isdir(self, path: str) -> bool:
+        return self.os.vfs.isdir(strip_protocol(path))
+
+    def size(self, path: str) -> int:
+        return self.info(path)["size"]
+
+    def mv(self, old: str, new: str) -> None:
+        """Rename a file or directory (subtrees move whole)."""
+        self.pump.run(
+            self.os.rename(self.task, strip_protocol(old), strip_protocol(new)),
+            name=f"{self.tenant}-rename",
+        )
+
+    def rm_file(self, path: str) -> None:
+        self.pump.run(
+            self.os.unlink(self.task, strip_protocol(path)),
+            name=f"{self.tenant}-unlink",
+        )
+
+    def rmdir(self, path: str) -> None:
+        self.pump.run(
+            self.os.rmdir(self.task, strip_protocol(path)),
+            name=f"{self.tenant}-rmdir",
+        )
+
+    def rm(self, path: str, recursive: bool = False) -> None:
+        norm = strip_protocol(path)
+        if not self.os.vfs.isdir(norm):
+            self.rm_file(norm)
+            return
+        if not recursive:
+            raise IsADirectoryError(path)
+        # Deepest-first sweep of the subtree, then the directory itself.
+        fs = self.os.fs
+        prefix = norm + "/"
+        victims = sorted(
+            (p for p in list(fs._namespace) if p.startswith(prefix)),
+            key=lambda p: p.count("/"),
+            reverse=True,
+        )
+        for victim in victims:
+            if fs.lookup(victim).is_dir:
+                self.rmdir(victim)
+            else:
+                self.rm_file(victim)
+        self.rmdir(norm)
+
+    # -- whole-file conveniences ----------------------------------------------
+
+    def pipe_file(self, path: str, data: bytes) -> None:
+        """Create/overwrite *path* with *data*."""
+        with self.open(path, mode="wb") as f:
+            f.write(data)
+
+    def cat_file(self, path: str,
+                 start: Optional[int] = None, end: Optional[int] = None) -> bytes:
+        """Bytes of *path* in ``[start, end)``; negatives count from
+        the end, fsspec-style."""
+        with self.open(path, mode="rb") as f:
+            size = f.handle.inode.size
+            lo = 0 if start is None else (start + size if start < 0 else start)
+            hi = size if end is None else (end + size if end < 0 else end)
+            lo = max(0, min(lo, size))
+            hi = max(lo, min(hi, size))
+            f.seek(lo)
+            return f.read(hi - lo)
+
+    def cat(self, path: str) -> bytes:
+        return self.cat_file(path)
+
+    def cat_ranges(self, paths: List[str], starts: List[int],
+                   ends: List[int]) -> List[bytes]:
+        if not (len(paths) == len(starts) == len(ends)):
+            raise ValueError("paths, starts, ends must have equal lengths")
+        return [
+            self.cat_file(p, s, e) for p, s, e in zip(paths, starts, ends)
+        ]
+
+    def cp_file(self, src: str, dst: str) -> None:
+        """Copy: a real read of *src* plus a real write of *dst*."""
+        self.pipe_file(dst, self.cat_file(src))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReproFileSystem tenant={self.tenant!r} "
+            f"pid={self.task.pid} device={self.os.device.name}>"
+        )
+
+
+# -- optional fsspec integration ----------------------------------------------
+
+
+def fsspec_class():
+    """Build (lazily) the AbstractFileSystem subclass wrapping
+    :class:`ReproFileSystem`.  Raises ImportError without fsspec."""
+    from fsspec import AbstractFileSystem
+
+    class FsspecReproFileSystem(AbstractFileSystem):
+        """fsspec adapter: delegates to a ReproFileSystem backend."""
+
+        protocol = PROTOCOL
+        cachable = False  # every instance owns (or is handed) a live stack
+
+        def __init__(self, backend: Optional[ReproFileSystem] = None,
+                     **storage_options):
+            super().__init__()
+            self.backend = backend or ReproFileSystem(**storage_options)
+
+        def _open(self, path, mode="rb", **kwargs):
+            return self.backend.open(path, mode=mode)
+
+        def ls(self, path, detail=True, **kwargs):
+            return self.backend.ls(path, detail=detail)
+
+        def info(self, path, **kwargs):
+            return self.backend.info(path)
+
+        def exists(self, path, **kwargs):
+            return self.backend.exists(path)
+
+        def mkdir(self, path, create_parents=True, **kwargs):
+            self.backend.mkdir(path, create_parents=create_parents)
+
+        def makedirs(self, path, exist_ok=False):
+            self.backend.makedirs(path, exist_ok=exist_ok)
+
+        def rm_file(self, path):
+            self.backend.rm_file(path)
+
+        def rmdir(self, path):
+            self.backend.rmdir(path)
+
+        def mv(self, path1, path2, **kwargs):
+            self.backend.mv(path1, path2)
+
+        def cp_file(self, path1, path2, **kwargs):
+            self.backend.cp_file(path1, path2)
+
+        def cat_file(self, path, start=None, end=None, **kwargs):
+            return self.backend.cat_file(path, start=start, end=end)
+
+        def pipe_file(self, path, value, **kwargs):
+            self.backend.pipe_file(path, value)
+
+        def created(self, path):  # pragma: no cover - no timestamps in sim
+            raise NotImplementedError
+
+        def modified(self, path):  # pragma: no cover
+            raise NotImplementedError
+
+    return FsspecReproFileSystem
+
+
+def register(clobber: bool = True):
+    """Register the adapter under ``repro://`` in fsspec's registry.
+
+    Returns the registered class; raises ImportError without fsspec.
+    """
+    import fsspec
+
+    cls = fsspec_class()
+    fsspec.register_implementation(PROTOCOL, cls, clobber=clobber)
+    return cls

@@ -29,7 +29,7 @@ def prefill_file(os, task, path: str, size: int, chunk: int = 1 * MB, drop: bool
         written += n
     yield from handle.fsync()
     if drop:
-        os.cache.free_file(handle.inode.id)
+        handle.drop_cache()
     return handle
 
 
@@ -46,7 +46,7 @@ def sequential_reader(
     env = os.env
     handle = yield from os.open(task, path)
     if cold:
-        os.cache.free_file(handle.inode.id)
+        handle.drop_cache()
     size = handle.inode.size
     end = env.now + duration
     if tracker is not None:
@@ -58,12 +58,12 @@ def sequential_reader(
         if n <= 0:
             offset = 0
             if cold:
-                os.cache.free_file(handle.inode.id)
+                handle.drop_cache()
             continue
         offset = (offset + n) % size
         if offset == 0 and cold:
             # Wrapped around: drop the file so every pass hits the disk.
-            os.cache.free_file(handle.inode.id)
+            handle.drop_cache()
         total += n
         if tracker is not None:
             tracker.add(n, env.now)

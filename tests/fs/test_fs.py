@@ -205,6 +205,7 @@ def test_unlink_discards_dirty_buffers():
     def proc():
         handle = yield from machine.creat(task, "/f")
         yield from handle.append(64 * KB)
+        yield from machine.close(handle)  # no live handles: free is immediate
         yield from machine.unlink(task, "/f")
 
     drive(env, proc())

@@ -97,6 +97,7 @@ def test_buffer_free_refunds_estimate():
     def proc():
         handle = yield from machine.creat(task, "/f")
         yield from handle.append(256 * KB)
+        yield from machine.close(handle)  # unlink with no live handles frees
         mid = bucket.balance
         yield from machine.unlink(task, "/f")  # work disappears
         return mid, bucket.balance

@@ -61,6 +61,7 @@ def test_unlink_frees_disk_blocks_for_reuse():
         handle = yield from machine.creat(task, "/f")
         yield from handle.append(256 * KB)
         yield from handle.fsync()
+        yield from machine.close(handle)  # last handle gone: unlink frees now
         free_before = machine.fs.allocator.free_blocks
         yield from machine.unlink(task, "/f")
         return machine.fs.allocator.free_blocks - free_before

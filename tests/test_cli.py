@@ -106,3 +106,17 @@ def test_lint_json_format_and_select(tmp_path, capsys):
 def test_lint_rejects_unknown_rule(tmp_path, capsys):
     assert main(["lint", str(tmp_path), "--select", "SIM999"]) == 2
     assert "unknown rules" in capsys.readouterr().err
+
+
+def test_fs_demo_runs_a_reprofs_session(capsys):
+    assert main(["fs-demo"]) == 0
+    out = capsys.readouterr().out
+    assert "reprofs demo" in out
+    assert "/data/report.bin" in out
+    assert "pump episodes" in out
+
+
+def test_fs_demo_accepts_scheduler_and_device(capsys):
+    assert main(["fs-demo", "--device", "hdd", "--scheduler", "split-token"]) == 0
+    out = capsys.readouterr().out
+    assert "device=hdd" in out

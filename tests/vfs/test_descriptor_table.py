@@ -1,0 +1,118 @@
+"""Tests for the per-task descriptor table: fds, dup, EMFILE, EBADF."""
+
+import pytest
+
+from repro import Environment, OS, SSD, MB
+from repro.schedulers import Noop
+from repro.vfs import VFS
+
+
+def make_os():
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_fds_start_above_stdio():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        a = yield from machine.creat(task, "/a")
+        b = yield from machine.creat(task, "/b")
+        return a.fd, b.fd
+
+    fd_a, fd_b = drive(env, proc())
+    assert fd_a == 3  # 0/1/2 are reserved for stdio
+    assert fd_b == 4
+
+
+def test_tables_are_per_task():
+    env, machine = make_os()
+    t1 = machine.spawn("t1")
+    t2 = machine.spawn("t2")
+
+    def proc():
+        a = yield from machine.creat(t1, "/a")
+        b = yield from machine.open(t2, "/a")
+        return a, b
+
+    a, b = drive(env, proc())
+    assert machine.vfs.open_count(t1) == 1
+    assert machine.vfs.open_count(t2) == 1
+    assert machine.vfs.handles_of(t1) == [a]
+    assert machine.vfs.live_handles(a.inode.id) == 2
+
+
+def test_close_twice_raises_ebadf():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from machine.close(handle)
+        with pytest.raises(OSError, match="EBADF"):
+            yield from machine.close(handle)
+
+    drive(env, proc())
+
+
+def test_fd_table_exhaustion_raises_emfile():
+    env, machine = make_os()
+    machine.vfs.max_fds = 1  # the ceiling counts open descriptors
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.creat(task, "/a")
+        with pytest.raises(OSError, match="EMFILE"):
+            yield from machine.creat(task, "/b")
+
+    drive(env, proc())
+
+
+def test_close_frees_table_slot():
+    env, machine = make_os()
+    machine.vfs.max_fds = 1
+    task = machine.spawn("t")
+
+    def proc():
+        a = yield from machine.creat(task, "/a")
+        yield from machine.close(a)
+        b = yield from machine.creat(task, "/b")
+        return b
+
+    handle = drive(env, proc())
+    assert machine.vfs.open_count(task) == 1
+    assert handle.inode.path == "/b"
+
+
+def test_dup_shares_the_open_file_description():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(8192)
+        fd2 = machine.vfs.dup(handle)
+        assert fd2 != handle.fd
+        assert handle.refs == 2
+        # Releasing one descriptor keeps the description (and cursor).
+        machine.vfs.release(handle, fd=fd2)
+        assert not handle.closed
+        assert handle.tell() == 8192
+        yield from machine.close(handle)
+        assert handle.closed
+
+    drive(env, proc())
+
+
+def test_default_table_size_matches_ulimit_ballpark():
+    env, machine = make_os()
+    assert isinstance(machine.vfs, VFS)
+    assert machine.vfs.max_fds >= 1024

@@ -1,0 +1,174 @@
+"""Tests for ``OpenFile``: cursors, modes, guards, regressions."""
+
+import pytest
+
+from repro import Environment, OS, SSD, KB, MB
+from repro.schedulers import Noop
+from repro.vfs import parse_mode
+
+
+def make_os():
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_parse_mode_table():
+    assert parse_mode("r").readable and not parse_mode("r").writable
+    assert parse_mode("rb") == parse_mode("r")  # binary flag is a no-op
+    assert parse_mode("w").truncate and parse_mode("w").create
+    assert parse_mode("a").append and parse_mode("a").create
+    assert parse_mode("x").exclusive and parse_mode("x").create
+    assert parse_mode("r+").readable and parse_mode("r+").writable
+    with pytest.raises(ValueError):
+        parse_mode("q")
+
+
+def test_read_write_advance_cursor():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(8 * KB)
+        assert handle.tell() == 8 * KB
+        handle.seek(0)
+        got = yield from handle.read(4 * KB)
+        assert got == 4 * KB
+        assert handle.tell() == 4 * KB
+
+    drive(env, proc())
+
+
+def test_append_advances_cursor():
+    # Regression: append() used to write at EOF but leave pos behind,
+    # so a subsequent write() through the same handle clobbered the
+    # just-appended record.
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/log")
+        yield from handle.append(8 * KB)
+        assert handle.tell() == 8 * KB
+        yield from handle.append(4 * KB)
+        assert handle.tell() == 12 * KB
+        assert handle.size == 12 * KB
+
+    drive(env, proc())
+
+
+def test_append_mode_writes_at_eof_regardless_of_cursor():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/log", mode="a")
+        yield from handle.write(8 * KB)
+        handle.seek(0)
+        yield from handle.write(4 * KB)  # "a": still lands at EOF
+        assert handle.size == 12 * KB
+        assert handle.tell() == 12 * KB
+
+    drive(env, proc())
+
+
+def test_negative_seek_rejected():
+    # Regression: seek()/pread() used to accept negative offsets
+    # silently, producing nonsense block numbers deep in the stack.
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(8 * KB)
+        with pytest.raises(ValueError):
+            handle.seek(-1)
+        with pytest.raises(ValueError):
+            handle.seek(-(16 * KB), 2)
+        handle.seek(-4 * KB, 2)  # in-range relative seeks are fine
+        assert handle.tell() == 4 * KB
+
+    drive(env, proc())
+
+
+def test_negative_pread_pwrite_rejected():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(8 * KB)
+        with pytest.raises(ValueError):
+            yield from handle.pread(-4096, 4096)
+        with pytest.raises(ValueError):
+            yield from handle.pread(0, -1)
+        with pytest.raises(ValueError):
+            yield from handle.pwrite(-4096, 4096)
+
+    drive(env, proc())
+
+
+def test_closed_handle_guards():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(4 * KB)
+        yield from machine.close(handle)
+        with pytest.raises(ValueError):
+            yield from handle.read(4 * KB)
+        with pytest.raises(ValueError):
+            handle.seek(0)
+
+    drive(env, proc())
+
+
+def test_mode_guards():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f", mode="w")
+        yield from handle.write(4 * KB)
+        with pytest.raises(ValueError):
+            yield from handle.read(4 * KB)  # not open for reading
+        yield from machine.close(handle)
+        reader = yield from machine.open(task, "/f", mode="r")
+        with pytest.raises(ValueError):
+            yield from reader.write(4 * KB)  # not open for writing
+
+    drive(env, proc())
+
+
+def test_readahead_widens_reads():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(64 * KB)
+        yield from handle.fsync()
+        handle.drop_cache()
+        yield from machine.close(handle)
+        handle = yield from machine.open(task, "/f", readahead=16 * KB)
+        before = machine.device.stats.bytes_read
+        got = yield from handle.read(4 * KB)
+        assert got == 4 * KB  # caller sees what it asked for...
+        assert handle.tell() == 4 * KB
+        mid = machine.device.stats.bytes_read
+        assert mid - before >= 16 * KB  # ...the device served the window
+        # The next read lands inside the prefetched window: only the
+        # window's own tail (one widened page) can miss.
+        got = yield from handle.read(4 * KB)
+        assert got == 4 * KB
+        assert machine.device.stats.bytes_read - mid <= 4 * KB
+
+    drive(env, proc())

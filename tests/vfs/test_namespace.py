@@ -1,0 +1,195 @@
+"""Tests for the VFS namespace: lookup, mkdir -p, rename, unlink."""
+
+import pytest
+
+from repro import Environment, OS, SSD, KB, MB
+from repro.schedulers import Noop
+
+
+def make_os():
+    env = Environment()
+    machine = OS(env, device=SSD(), scheduler=Noop(), memory_bytes=128 * MB)
+    return env, machine
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_open_missing_file_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        with pytest.raises(FileNotFoundError):
+            yield from machine.open(task, "/nope")
+
+    drive(env, proc())
+
+
+def test_open_mode_r_does_not_create():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        with pytest.raises(FileNotFoundError):
+            yield from machine.open(task, "/nope", mode="r")
+        assert machine.fs.lookup("/nope") is None
+
+    drive(env, proc())
+
+
+def test_creat_over_existing_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.creat(task, "/f")
+        with pytest.raises(FileExistsError):
+            yield from machine.creat(task, "/f")
+
+    drive(env, proc())
+
+
+def test_exclusive_open_over_existing_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.creat(task, "/f")
+        with pytest.raises(FileExistsError):
+            yield from machine.open(task, "/f", mode="x")
+
+    drive(env, proc())
+
+
+def test_open_directory_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/d")
+        with pytest.raises(IsADirectoryError):
+            yield from machine.open(task, "/d")
+
+    drive(env, proc())
+
+
+def test_mkdir_parents_builds_missing_chain():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/a/b/c", parents=True)
+        assert machine.vfs.isdir("/a")
+        assert machine.vfs.isdir("/a/b")
+        assert machine.vfs.isdir("/a/b/c")
+        # Idempotent on an existing directory (mkdir -p semantics).
+        yield from machine.mkdir(task, "/a/b/c", parents=True)
+
+    drive(env, proc())
+
+
+def test_mkdir_without_parents_needs_existing_parent():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        with pytest.raises(FileNotFoundError):
+            yield from machine.mkdir(task, "/a/b/c")
+
+    drive(env, proc())
+
+
+def test_mkdir_parents_through_file_raises():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.creat(task, "/a")
+        with pytest.raises(NotADirectoryError):
+            yield from machine.mkdir(task, "/a/b", parents=True)
+
+    drive(env, proc())
+
+
+def test_rename_moves_directory_subtree():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/src/deep", parents=True)
+        handle = yield from machine.creat(task, "/src/deep/f")
+        yield from machine.close(handle)
+        yield from machine.mkdir(task, "/dst")
+        yield from machine.rename(task, "/src", "/dst/moved")
+        assert machine.vfs.isfile("/dst/moved/deep/f")
+        assert not machine.vfs.exists("/src")
+        inode = machine.vfs.resolve("/dst/moved/deep/f")
+        assert inode.path == "/dst/moved/deep/f"
+
+    drive(env, proc())
+
+
+def test_ls_and_stat():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/d")
+        handle = yield from machine.creat(task, "/d/f")
+        yield from handle.write(8 * KB)
+        yield from machine.mkdir(task, "/d/sub")
+        names = yield from machine.ls(task, "/d")
+        assert names == ["/d/f", "/d/sub"]
+        entries = yield from machine.ls(task, "/d", detail=True)
+        by_name = {e["name"]: e for e in entries}
+        assert by_name["/d/f"]["type"] == "file"
+        assert by_name["/d/f"]["size"] == 8 * KB
+        assert by_name["/d/sub"]["type"] == "directory"
+        info = yield from machine.stat(task, "/d/f")
+        assert info["size"] == 8 * KB
+
+    drive(env, proc())
+
+
+def test_rmdir_requires_empty_directory():
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        yield from machine.mkdir(task, "/d")
+        handle = yield from machine.creat(task, "/d/f")
+        yield from machine.close(handle)
+        with pytest.raises(OSError):
+            yield from machine.rmdir(task, "/d")
+        yield from machine.unlink(task, "/d/f")
+        yield from machine.rmdir(task, "/d")
+        assert not machine.vfs.exists("/d")
+
+    drive(env, proc())
+
+
+def test_unlink_with_live_handle_defers_free():
+    # POSIX deferred free: the name disappears immediately, but the
+    # inode's pages and blocks survive until the last handle closes.
+    env, machine = make_os()
+    task = machine.spawn("t")
+
+    def proc():
+        handle = yield from machine.creat(task, "/f")
+        yield from handle.write(64 * KB)
+        yield from handle.fsync()
+        yield from machine.unlink(task, "/f")
+        assert machine.fs.lookup("/f") is None  # name gone at once
+        # The open handle still works against the orphaned inode.
+        got = yield from handle.pread(0, 4 * KB)
+        assert got == 4 * KB
+        blocks_free_before = machine.fs.allocator.free_blocks
+        released = yield from machine.close(handle)
+        assert released
+        assert machine.fs.allocator.free_blocks > blocks_free_before
+
+    drive(env, proc())

@@ -1,0 +1,52 @@
+"""Tests for the pure path algebra under ``repro.vfs.path``."""
+
+import pytest
+
+from repro.vfs import path as vpath
+
+
+def test_normalize_collapses_slashes_and_dots():
+    assert vpath.normalize("//a///b/./c/") == "/a/b/c"
+
+
+def test_normalize_root():
+    assert vpath.normalize("/") == "/"
+    assert vpath.normalize("///") == "/"
+
+
+def test_normalize_rejects_relative():
+    with pytest.raises(ValueError):
+        vpath.normalize("a/b")
+
+
+def test_normalize_rejects_parent_escapes():
+    with pytest.raises(ValueError):
+        vpath.normalize("/a/../b")
+
+
+def test_components():
+    assert vpath.components("/a/b/c") == ["a", "b", "c"]
+    assert vpath.components("/") == []
+
+
+def test_parent_and_basename():
+    assert vpath.parent_of("/a/b/c") == "/a/b"
+    assert vpath.parent_of("/a") == "/"
+    assert vpath.basename("/a/b/c") == "c"
+
+
+def test_join():
+    assert vpath.join("/a/b", "c") == "/a/b/c"
+    assert vpath.join("/", "c") == "/c"
+
+
+def test_ancestors_root_first():
+    assert list(vpath.ancestors("/a/b/c")) == ["/", "/a", "/a/b"]
+    assert list(vpath.ancestors("/")) == []
+
+
+def test_is_within():
+    assert vpath.is_within("/a/b/c", "/a/b")
+    assert vpath.is_within("/a/b", "/a/b")
+    assert not vpath.is_within("/a/bc", "/a/b")
+    assert vpath.is_within("/anything", "/")

@@ -1,0 +1,189 @@
+"""Conformance tests for the reprofs frontend.
+
+Everything here is synchronous calling code — no generators, no
+``env.process`` — exercising the driver pump that bridges ordinary
+Python onto the simulation.
+"""
+
+import pytest
+
+from repro.units import KB, MB
+from repro.vfs.reprofs import ReproFileSystem, strip_protocol
+
+
+@pytest.fixture()
+def fs():
+    return ReproFileSystem(memory_bytes=64 * MB)
+
+
+def test_strip_protocol_spellings():
+    assert strip_protocol("repro://a/b") == "/a/b"
+    assert strip_protocol("repro:/a/b") == "/a/b"
+    assert strip_protocol("a/b") == "/a/b"
+    assert strip_protocol("/a//b/") == "/a/b"
+
+
+def test_write_read_roundtrip_bytes(fs):
+    fs.pipe_file("/f", b"hello reprofs")
+    assert fs.cat_file("/f") == b"hello reprofs"
+    assert fs.size("/f") == len(b"hello reprofs")
+
+
+def test_roundtrip_through_file_objects(fs):
+    with fs.open("/f", "wb") as f:
+        f.write(b"abc")
+        f.write(b"defgh")
+    with fs.open("/f", "rb") as f:
+        assert f.read(3) == b"abc"
+        assert f.tell() == 3
+        assert f.read() == b"defgh"
+
+
+def test_seek_and_ranges(fs):
+    payload = bytes(range(256)) * 16
+    fs.pipe_file("/f", payload)
+    with fs.open("/f", "rb") as f:
+        f.seek(100)
+        assert f.read(10) == payload[100:110]
+        f.seek(-16, 2)
+        assert f.read() == payload[-16:]
+    assert fs.cat_file("/f", start=5, end=9) == payload[5:9]
+    assert fs.cat_file("/f", start=-8) == payload[-8:]
+    assert fs.cat_file("/f", end=-250) == payload[:-250]
+
+
+def test_cat_ranges(fs):
+    fs.pipe_file("/f", b"0123456789")
+    got = fs.cat_ranges(["/f", "/f"], [1, 5], [4, 10])
+    assert got == [b"123", b"56789"]
+
+
+def test_append_mode(fs):
+    fs.pipe_file("/log", b"one,")
+    with fs.open("/log", "ab") as f:
+        f.write(b"two")
+    assert fs.cat_file("/log") == b"one,two"
+
+
+def test_truncate_on_w_mode(fs):
+    fs.pipe_file("/f", b"a long original payload")
+    with fs.open("/f", "wb") as f:
+        f.write(b"short")
+    assert fs.cat_file("/f") == b"short"
+
+
+def test_exclusive_mode(fs):
+    fs.pipe_file("/f", b"x")
+    with pytest.raises(FileExistsError):
+        fs.open("/f", "xb")
+
+
+def test_text_writes_are_encoded(fs):
+    with fs.open("/f", "wb") as f:
+        f.write("text payload")
+    assert fs.cat_file("/f") == b"text payload"
+
+
+def test_ls_info_exists(fs):
+    fs.makedirs("/data/sub")
+    fs.pipe_file("/data/a", b"aa")
+    fs.pipe_file("/data/b", b"bbbb")
+    assert fs.ls("/data") == ["/data/a", "/data/b", "/data/sub"]
+    detail = {e["name"]: e for e in fs.ls("/data", detail=True)}
+    assert detail["/data/a"]["size"] == 2
+    assert detail["/data/sub"]["type"] == "directory"
+    assert fs.info("/data/b") == {"name": "/data/b", "size": 4, "type": "file"}
+    assert fs.exists("/data/a") and fs.isfile("/data/a")
+    assert fs.isdir("/data/sub") and not fs.isfile("/data/sub")
+    assert not fs.exists("/nope")
+
+
+def test_mkdir_and_makedirs(fs):
+    fs.mkdir("/top")
+    with pytest.raises(FileNotFoundError):
+        fs.mkdir("/a/b")  # parent missing without create_parents
+    fs.makedirs("/a/b/c")
+    assert fs.isdir("/a/b/c")
+    with pytest.raises(FileExistsError):
+        fs.makedirs("/a/b/c")  # exists, exist_ok defaults to False
+    fs.makedirs("/a/b/c", exist_ok=True)
+
+
+def test_mv_and_cp(fs):
+    fs.pipe_file("/src", b"payload")
+    fs.mv("/src", "/dst")
+    assert not fs.exists("/src")
+    assert fs.cat_file("/dst") == b"payload"
+    fs.cp_file("/dst", "/copy")
+    assert fs.cat_file("/copy") == b"payload"
+    assert fs.cat_file("/dst") == b"payload"
+
+
+def test_rm_recursive(fs):
+    fs.makedirs("/tree/deep")
+    fs.pipe_file("/tree/a", b"x")
+    fs.pipe_file("/tree/deep/b", b"y")
+    with pytest.raises(OSError):
+        fs.rm("/tree")  # non-recursive rm of a directory tree
+    fs.rm("/tree", recursive=True)
+    assert not fs.exists("/tree")
+
+
+def test_touch_and_rm_file(fs):
+    fs.touch("/f")
+    assert fs.size("/f") == 0
+    fs.rm_file("/f")
+    assert not fs.exists("/f")
+
+
+def test_flush_makes_bytes_durable(fs):
+    with fs.open("/f", "wb") as f:
+        f.write(b"z" * 64 * KB)
+        f.flush()
+        assert fs.os.cache.dirty_bytes_of(f.handle.inode.id) == 0
+
+
+def test_closed_file_guards(fs):
+    f = fs.open("/f", "wb")
+    f.write(b"x")
+    f.close()
+    assert f.closed
+    f.close()  # idempotent, like io objects
+    with pytest.raises(ValueError):
+        f.read(1)
+
+
+def test_simulated_time_advances(fs):
+    start = fs.env.now
+    fs.pipe_file("/f", b"q" * MB)
+    fs.cat_file("/f")
+    assert fs.env.now > start
+    assert fs.pump.episodes >= 2
+
+
+def test_two_tenants_share_one_namespace_with_own_attribution():
+    fs_a = ReproFileSystem(tenant="alice", memory_bytes=64 * MB)
+    fs_b = ReproFileSystem(machine=fs_a.os, tenant="bob")
+    fs_a.pipe_file("/shared", b"from alice")
+    assert fs_b.cat_file("/shared") == b"from alice"
+    assert fs_a.task.pid != fs_b.task.pid
+    # Each tenant's handles carry its own cause set for the schedulers.
+    ha = fs_a.open("/shared", "rb").handle
+    hb = fs_b.open("/shared", "rb").handle
+    assert set(ha.causes) == {fs_a.task.pid}
+    assert set(hb.causes) == {fs_b.task.pid}
+
+
+def test_in_sim_workload_via_open_handle_and_process():
+    fs = ReproFileSystem(memory_bytes=64 * MB)
+    fs.pipe_file("/f", b"\x00" * (256 * KB))
+    handle = fs.open_handle("/f", mode="r")
+    got = []
+
+    def reader():
+        n = yield from handle.pread(0, 128 * KB)
+        got.append(n)
+
+    fs.process(reader())
+    fs.cat_file("/f")  # any pump episode drives the background reader
+    assert got == [128 * KB]

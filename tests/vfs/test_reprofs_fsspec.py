@@ -1,0 +1,43 @@
+"""Integration with fsspec's registry — skipped when fsspec is absent.
+
+The image deliberately ships without fsspec; these tests document (and
+exercise, where fsspec *is* installed) the optional integration:
+``register()`` exposes the simulator as ``repro://`` so unmodified
+fsspec consumers can run against it.
+"""
+
+import pytest
+
+from repro.units import MB
+
+fsspec = pytest.importorskip("fsspec")
+
+from repro.vfs.reprofs import fsspec_class, register  # noqa: E402
+
+
+def test_fsspec_class_subclasses_abstractfilesystem():
+    from fsspec import AbstractFileSystem
+
+    cls = fsspec_class()
+    assert issubclass(cls, AbstractFileSystem)
+    assert cls.protocol == "repro"
+
+
+def test_registered_filesystem_roundtrip():
+    register(clobber=True)
+    fs = fsspec.filesystem("repro", memory_bytes=64 * MB)
+    fs.mkdir("repro://box")
+    fs.pipe_file("repro://box/f", b"payload")
+    assert fs.cat_file("repro://box/f") == b"payload"
+    assert fs.ls("repro://box", detail=False) == ["/box/f"]
+    with fs.open("repro://box/f", "rb") as f:
+        assert f.read() == b"payload"
+
+
+def test_instances_are_not_cached():
+    # Each filesystem() call must build a fresh stack: cached instances
+    # would silently share simulated state across experiments.
+    register(clobber=True)
+    a = fsspec.filesystem("repro", memory_bytes=64 * MB)
+    b = fsspec.filesystem("repro", memory_bytes=64 * MB)
+    assert a is not b
